@@ -1,0 +1,91 @@
+//! **Ablation C (§3.3)** — temporal token deltas and the global+local
+//! channel design.
+//!
+//! Paper proposals: (1) "for subsequent frames, we can encode only the
+//! differences from the preceding frame"; (2) the two-step global+local
+//! encoding prevents "the potential loss of global information, such as
+//! the overall body pose, caused by the segmentation of human models".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_bench::{bench_scene, report, report_header};
+use semholo::text::{TextConfig, TextPipeline};
+use semholo::{Content, SemanticPipeline};
+use std::hint::black_box;
+
+fn run(config: TextConfig, frames: usize) -> (f64, f64, f64) {
+    let scene = bench_scene(2.0);
+    let mut p = TextPipeline::new(config, 42);
+    let mut first_bytes = 0.0;
+    let mut rest_bytes = 0.0;
+    let mut chamfer_sum = 0.0;
+    for i in 0..frames {
+        let frame = scene.frame(i);
+        let enc = p.encode(&frame).unwrap();
+        if i == 0 {
+            first_bytes = enc.payload.len() as f64;
+        } else {
+            rest_bytes += enc.payload.len() as f64;
+        }
+        let rec = p.decode(&enc.payload).unwrap();
+        let Content::Cloud(_) = &rec.content else { unreachable!() };
+        let q = p.quality(&frame, &rec.content);
+        chamfer_sum += q.chamfer.unwrap_or(f32::NAN) as f64;
+    }
+    (first_bytes, rest_bytes / (frames - 1) as f64, chamfer_sum / frames as f64)
+}
+
+fn ablation(c: &mut Criterion) {
+    let frames = 8;
+    let (full_first, full_rest, full_q) =
+        run(TextConfig { use_delta: false, use_global_channel: true, ..Default::default() }, frames);
+    let (delta_first, delta_rest, delta_q) =
+        run(TextConfig { use_delta: true, use_global_channel: true, ..Default::default() }, frames);
+    report_header("Ablation C.1: full captions vs temporal deltas (bytes per frame)");
+    report(&format!(
+        "full captions:   first {:.0} B, subsequent mean {:.0} B (chamfer {:.1} mm)",
+        full_first,
+        full_rest,
+        full_q * 1000.0
+    ));
+    report(&format!(
+        "delta captions:  first {:.0} B, subsequent mean {:.0} B (chamfer {:.1} mm)",
+        delta_first,
+        delta_rest,
+        delta_q * 1000.0
+    ));
+    report(&format!(
+        "delta saving on steady-state frames: {:.1}x (paper: inter-frame differences are small)",
+        full_rest / delta_rest.max(1.0)
+    ));
+    assert!(delta_rest < full_rest, "deltas must shrink steady-state frames");
+    assert!((delta_q - full_q).abs() < 0.03, "delta coding must not change reconstruction quality");
+
+    // Global channel on/off with a deliberately coarse local vocabulary
+    // (where the global pose correction matters most).
+    let coarse = TextConfig { vocabulary: 8, use_delta: false, use_global_channel: true, ..Default::default() };
+    let coarse_off = TextConfig { vocabulary: 8, use_delta: false, use_global_channel: false, ..Default::default() };
+    let (_, _, with_global) = run(coarse, 4);
+    let (_, _, without_global) = run(coarse_off, 4);
+    report_header("Ablation C.2: global+local channels vs flat local coding (8-token vocabulary)");
+    report(&format!("with global channel:    chamfer {:.2} mm", with_global * 1000.0));
+    report(&format!("without global channel: chamfer {:.2} mm", without_global * 1000.0));
+    assert!(
+        with_global <= without_global * 1.05,
+        "global channel must not hurt: {with_global} vs {without_global}"
+    );
+
+    let mut group = c.benchmark_group("ablation_text");
+    group.sample_size(10);
+    let scene = bench_scene(0.5);
+    let mut p = TextPipeline::new(TextConfig::default(), 42);
+    let f0 = scene.frame(0);
+    let _ = p.encode(&f0).unwrap(); // cold start
+    let f1 = scene.frame(1);
+    group.bench_function("text_encode_delta_frame", |b| b.iter(|| p.encode(black_box(&f1)).unwrap()));
+    let enc = p.encode(&f1).unwrap();
+    group.bench_function("text_decode_frame", |b| b.iter(|| p.decode(black_box(&enc.payload)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

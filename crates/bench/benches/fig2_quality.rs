@@ -1,0 +1,121 @@
+//! **Figure 2** — visual quality of keypoint reconstruction vs. output
+//! resolution.
+//!
+//! Paper: meshes reconstructed from keypoints at resolutions 128, 256,
+//! 512, 1024 gain detail with resolution ("at the resolution of 1024,
+//! the generated mesh is capable of revealing intricate details such as
+//! hand joints and facial contours") but "still cannot recover the
+//! details of the clothes, such as folds" — and 512 is visually equal to
+//! 1024. Matching the paper's setup (keypoints come from the dataset's
+//! ground-truth poses, so reconstruction error is purely the model's),
+//! we reconstruct from the true pose and measure:
+//!
+//! - **surface discretization error** (mean |SDF| of mesh vertices against
+//!   the exact implicit surface), overall and in the detail-critical
+//!   hand region — the "detail rises with resolution" series;
+//! - **chamfer against the clothed ground truth** — flat across
+//!   resolutions at the cloth-detail floor, the "folds never recovered"
+//!   result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_bench::{bench_scene, report, report_header};
+use holo_body::surface::{BodySdf, SurfaceDetail};
+use holo_body::{Joint, Skeleton};
+use holo_math::Vec3;
+use holo_mesh::sdf::Sdf;
+use holo_mesh::sparse::sparse_extract;
+use semholo::semantics::mesh_quality;
+use std::hint::black_box;
+
+fn fig2(c: &mut Criterion) {
+    let scene = bench_scene(1.0);
+    let frame = scene.frame(5);
+    let sk = Skeleton::neutral();
+    // The exact implicit surface the reconstruction targets (no cloth:
+    // keypoints cannot carry it).
+    let bare_sdf = BodySdf::from_pose(&sk, &frame.params, SurfaceDetail::bare());
+    // The clothed ground truth the viewer compares against.
+    let gt_clothed = frame.ground_truth_mesh(256);
+    let posed = sk.forward_kinematics(&frame.params);
+    let wrists = [posed.position(Joint::LeftWrist), posed.position(Joint::RightWrist)];
+    let head = posed.position(Joint::Head);
+
+    let region_error = |mesh: &holo_mesh::TriMesh, centers: &[Vec3], radius: f32| -> (f64, usize) {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for v in &mesh.vertices {
+            if centers.iter().any(|c| v.distance(*c) < radius) {
+                sum += bare_sdf.distance(*v).abs() as f64;
+                n += 1;
+            }
+        }
+        (if n > 0 { sum / n as f64 } else { f64::NAN }, n)
+    };
+
+    report_header("Figure 2: reconstruction detail vs resolution (paper: hands/face sharpen with resolution; cloth folds never recovered)");
+    report(&format!(
+        "{:>10} {:>16} {:>16} {:>12} {:>14} {:>18}",
+        "resolution", "surface err(mm)", "hand err(mm)", "hand verts", "face err(mm)", "clothed chamfer(mm)"
+    ));
+    let mut hand_errors = Vec::new();
+    let mut clothed_chamfers = Vec::new();
+    for res in [128u32, 256, 512, 1024] {
+        let mesh = sparse_extract(&bare_sdf, res, 0.03);
+        // Discretization error: exact distance from every vertex to the
+        // true implicit surface.
+        let overall: f64 = mesh
+            .vertices
+            .iter()
+            .map(|v| bare_sdf.distance(*v).abs() as f64)
+            .sum::<f64>()
+            / mesh.vertex_count().max(1) as f64;
+        let (hand_err, hand_verts) = region_error(&mesh, &wrists, 0.14);
+        let (face_err, _) = region_error(&mesh, &[head], 0.16);
+        let q = mesh_quality(&gt_clothed, &mesh, 7);
+        report(&format!(
+            "{:>10} {:>16.3} {:>16.3} {:>12} {:>14.3} {:>18.2}",
+            res,
+            overall * 1000.0,
+            hand_err * 1000.0,
+            hand_verts,
+            face_err * 1000.0,
+            q.chamfer.unwrap() * 1000.0
+        ));
+        hand_errors.push(hand_err);
+        clothed_chamfers.push(q.chamfer.unwrap() as f64);
+    }
+    // Cloth floor: even a perfect bare reconstruction differs from the
+    // clothed truth by this much.
+    let bare_ref = sparse_extract(&bare_sdf, 256, 0.03);
+    let floor = mesh_quality(&gt_clothed, &bare_ref, 9).chamfer.unwrap() as f64;
+    report(&format!(
+        "cloth-detail floor: {:.2} mm chamfer — every resolution sits at it (folds are unrecoverable from keypoints)",
+        floor * 1000.0
+    ));
+    // Paper-shape assertions.
+    assert!(
+        hand_errors[2] < hand_errors[0] * 0.5,
+        "hand detail must sharpen with resolution: {hand_errors:?}"
+    );
+    assert!(
+        hand_errors[3] <= hand_errors[2] * 1.5,
+        "1024 should not be worse than 512 (paper: visually equal)"
+    );
+    for &cc in &clothed_chamfers {
+        assert!(
+            (cc - floor).abs() < floor * 0.35,
+            "clothed chamfer {cc} should sit near the cloth floor {floor}"
+        );
+    }
+
+    // Criterion: the real-time-adjacent reconstruction.
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("bare_surface_extract_res128", |b| {
+        b.iter(|| sparse_extract(black_box(&bare_sdf), 128, 0.03))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! **Table 1** — the semantics taxonomy, measured.
+//!
+//! The paper grades each semantic type qualitatively: computation
+//! overhead for extraction and reconstruction (L/M/H), data size (L/M/H),
+//! visual quality (L/M/H), and output format. This bench runs all three
+//! semantic pipelines plus the traditional baseline on the same captured
+//! frame and reports the measured quantities behind those grades, then
+//! re-derives the letter grades from the measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_bench::{bandwidth_at_30fps, bench_scene, mbps, report, report_header};
+use holo_gpu::Device;
+use semholo::image::{ImageConfig, ImagePipeline};
+use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::text::{TextConfig, TextPipeline};
+use semholo::traditional::{MeshWire, TraditionalPipeline};
+use semholo::{SceneSource, SemanticPipeline};
+use std::hint::black_box;
+
+struct Row {
+    name: &'static str,
+    extract_ms: f64,
+    recon_ms: f64,
+    payload: usize,
+    quality: String,
+    format: &'static str,
+}
+
+fn measure(pipeline: &mut dyn SemanticPipeline, scene: &SceneSource, name: &'static str) -> Row {
+    let device = Device::a100();
+    let frame = scene.frame(4);
+    // Warm up stateful pipelines (codebooks, NeRF pre-train) on frame 0.
+    let warm = scene.frame(0);
+    if let Ok(enc) = pipeline.encode(&warm) {
+        let _ = pipeline.decode(&enc.payload);
+    }
+    let enc = pipeline.encode(&frame).expect("encode");
+    let extract_ms = enc.extract.time_on(&device).map(|d| d.as_secs_f64() * 1e3).unwrap_or(f64::NAN);
+    let rec = pipeline.decode(&enc.payload).expect("decode");
+    let recon_ms = rec.recon.time_on(&device).map(|d| d.as_secs_f64() * 1e3).unwrap_or(f64::NAN);
+    let q = pipeline.quality(&frame, &rec.content);
+    let quality = match (q.chamfer, q.psnr_db) {
+        (Some(c), _) => format!("{:.1} mm chamfer", c * 1000.0),
+        (None, Some(p)) => format!("{p:.1} dB PSNR"),
+        _ => "-".into(),
+    };
+    Row {
+        name,
+        extract_ms,
+        recon_ms,
+        payload: enc.payload.len(),
+        quality,
+        format: rec.content.format_name(),
+    }
+}
+
+fn grade(value: f64, low: f64, high: f64) -> &'static str {
+    if value < low {
+        "L"
+    } else if value < high {
+        "M"
+    } else {
+        "H"
+    }
+}
+
+fn table1(c: &mut Criterion) {
+    let scene = bench_scene(0.5);
+    let mut rows = Vec::new();
+    let mut kp = KeypointPipeline::new(KeypointConfig { resolution: 128, ..Default::default() }, 42);
+    rows.push(measure(&mut kp, &scene, "keypoint"));
+    let mut img = ImagePipeline::new(ImageConfig { pretrain_steps: 150, ..Default::default() }, 42);
+    rows.push(measure(&mut img, &scene, "image"));
+    let mut txt = TextPipeline::new(TextConfig::default(), 42);
+    rows.push(measure(&mut txt, &scene, "text"));
+    let mut trad = TraditionalPipeline::new(MeshWire::Compressed, 14);
+    rows.push(measure(&mut trad, &scene, "traditional"));
+
+    report_header("Table 1: taxonomy of semantics, measured on one captured frame (paper grades in parentheses)");
+    report(&format!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12} {:>20} {:>12}",
+        "semantics", "extract(ms)", "recon(ms)", "payload(B)", "bw@30fps", "quality", "format"
+    ));
+    for r in &rows {
+        report(&format!(
+            "{:>12} {:>12.1} {:>12.1} {:>12} {:>12} {:>20} {:>12}",
+            r.name,
+            r.extract_ms,
+            r.recon_ms,
+            r.payload,
+            mbps(bandwidth_at_30fps(r.payload)),
+            r.quality,
+            r.format
+        ));
+    }
+    report("derived grades (extract / recon / data size):");
+    for r in &rows {
+        report(&format!(
+            "  {:>12}: extract {} | recon {} | size {}   (paper: keypoint L/H/L, image -/H/M, text H/H/L)",
+            r.name,
+            grade(r.extract_ms, 5.0, 50.0),
+            grade(r.recon_ms, 50.0, 300.0),
+            grade(r.payload as f64, 8_000.0, 80_000.0),
+        ));
+    }
+    // Paper-shape assertions.
+    let kp_row = &rows[0];
+    let trad_row = &rows[3];
+    assert!(kp_row.payload * 10 < trad_row.payload, "keypoint payload must be far below mesh");
+    assert!(kp_row.recon_ms > 300.0, "keypoint reconstruction must be the bottleneck (H)");
+
+    // Criterion: one encode per pipeline class.
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let frame = scene.frame(6);
+    group.bench_function("keypoint_encode", |b| b.iter(|| kp.encode(black_box(&frame)).unwrap()));
+    group.bench_function("text_encode", |b| b.iter(|| txt.encode(black_box(&frame)).unwrap()));
+    group.bench_function("traditional_encode", |b| b.iter(|| trad.encode(black_box(&frame)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

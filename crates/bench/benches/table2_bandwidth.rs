@@ -1,0 +1,129 @@
+//! **Table 2** — required bandwidth (Mbps) at 30 FPS for keypoint-based
+//! semantic vs. traditional communication, before and after compression.
+//!
+//! Paper values: semantic 0.46 / 0.30 Mbps (raw / LZMA, 1.91 KB / 1.23 KB
+//! per frame); traditional 95.4 / 10.1 Mbps (raw / Draco, 397.7 KB /
+//! 42.1 KB per frame) — savings of ~207x raw and ~34x compressed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_bench::{bandwidth_at_30fps, bench_scene, mbps, report, report_header};
+use holo_compress::lzma::{lzma_compress, lzma_decompress};
+use holo_compress::meshcodec::{decode_mesh, encode_mesh, MeshCodecConfig};
+use semholo::traditional::mesh_to_raw_bytes;
+use semholo::KeypointPipeline;
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    let scene = bench_scene(1.0);
+
+    // --- Semantic side: the 1.91 KB pose payload, LZMA-compressed. ---
+    let mut kp = KeypointPipeline::new(Default::default(), 42);
+    let (fitted, detected) = kp.fit_frame(&scene.frame(3)).unwrap();
+    let mut keypoints = detected;
+    keypoints.truncate(holo_body::params::PAYLOAD_KEYPOINTS);
+    let payload = holo_body::params::PosePayload::new(fitted, keypoints);
+    let pose_raw = payload.to_bytes();
+    // Average the compressed size over a clip (it varies per frame).
+    let mut comp_total = 0usize;
+    let frames = 20;
+    for i in 0..frames {
+        let (f, d) = kp.fit_frame(&scene.frame(i)).unwrap();
+        let mut kps = d;
+        kps.truncate(holo_body::params::PAYLOAD_KEYPOINTS);
+        let raw = holo_body::params::PosePayload::new(f, kps).to_bytes();
+        let comp = lzma_compress(&raw);
+        assert_eq!(lzma_decompress(&comp).unwrap(), raw);
+        comp_total += comp.len();
+    }
+    let pose_comp_mean = comp_total / frames;
+
+    // --- Traditional side: the posed template mesh, raw and Draco. ---
+    let mesh = scene.frame(3).posed_mesh();
+    let mesh_raw = mesh_to_raw_bytes(&mesh);
+    let mesh_comp = encode_mesh(&mesh, &MeshCodecConfig::default());
+    assert_eq!(decode_mesh(&mesh_comp).unwrap().face_count(), mesh.face_count());
+
+    report_header("Table 2: required bandwidth at 30 FPS (paper: 0.46 / 0.30 / 95.4 / 10.1 Mbps)");
+    report(&format!(
+        "semantic   w/o compression: {:>8}  ({:.2} KB/frame; paper 1.91 KB -> 0.46 Mbps)",
+        mbps(bandwidth_at_30fps(pose_raw.len())),
+        pose_raw.len() as f64 / 1024.0
+    ));
+    report(&format!(
+        "semantic   w/  compression: {:>8}  ({:.2} KB/frame; paper 1.23 KB -> 0.30 Mbps)",
+        mbps(bandwidth_at_30fps(pose_comp_mean)),
+        pose_comp_mean as f64 / 1024.0
+    ));
+    report(&format!(
+        "traditional w/o compression: {:>8} ({:.1} KB/frame; paper 397.7 KB -> 95.4 Mbps)",
+        mbps(bandwidth_at_30fps(mesh_raw.len())),
+        mesh_raw.len() as f64 / 1024.0
+    ));
+    report(&format!(
+        "traditional w/  compression: {:>8} ({:.1} KB/frame; paper 42.1 KB -> 10.1 Mbps)",
+        mbps(bandwidth_at_30fps(mesh_comp.len())),
+        mesh_comp.len() as f64 / 1024.0
+    ));
+    report(&format!(
+        "bandwidth savings: {:.0}x raw (paper ~207x), {:.0}x compressed (paper ~34x)",
+        mesh_raw.len() as f64 / pose_raw.len() as f64,
+        mesh_comp.len() as f64 / pose_comp_mean as f64
+    ));
+    report(&format!(
+        "mesh: {} vertices / {} faces (SMPL-X: 10475 / 20908)",
+        mesh.vertex_count(),
+        mesh.face_count()
+    ));
+
+    // --- Extension row: temporal (inter-frame) mesh coding — the
+    // Draco-animation-class upgrade of the traditional baseline
+    // (connectivity once, closed-loop position deltas after). ---
+    {
+        use holo_compress::temporal::{TemporalMeshDecoder, TemporalMeshEncoder};
+        let mut tenc = TemporalMeshEncoder::new(MeshCodecConfig::default(), 0.001);
+        let mut tdec = TemporalMeshDecoder::new();
+        let mut delta_total = 0usize;
+        let frames = 20;
+        let mut key = 0usize;
+        for i in 0..frames {
+            let m = scene.frame(i).posed_mesh();
+            let bytes = tenc.encode(&m);
+            tdec.decode(&bytes).unwrap();
+            if i == 0 {
+                key = bytes.len();
+            } else {
+                delta_total += bytes.len();
+            }
+        }
+        let mean_delta = delta_total / (frames - 1);
+        report(&format!(
+            "extension — temporal mesh coding: {:>8} steady-state ({:.1} KB/frame deltas after a {:.1} KB keyframe)",
+            mbps(bandwidth_at_30fps(mean_delta)),
+            mean_delta as f64 / 1024.0,
+            key as f64 / 1024.0,
+        ));
+        report(
+            "  note: deltas of a *parametric* mesh compress to pose-equivalent size, because the pose IS \
+its only per-frame innovation; live-captured meshes (changing topology + sensor noise every frame, \
+as in the paper's capture pipeline) cannot be delta-coded this way, which is why the paper compares \
+against per-frame mesh delivery.",
+        );
+    }
+
+    // --- Criterion timings of the codecs themselves. ---
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("lzma_compress_pose_frame", |b| {
+        b.iter(|| lzma_compress(black_box(&pose_raw)))
+    });
+    group.bench_function("draco_encode_mesh_frame", |b| {
+        b.iter(|| encode_mesh(black_box(&mesh), &MeshCodecConfig::default()))
+    });
+    group.bench_function("draco_decode_mesh_frame", |b| {
+        b.iter(|| decode_mesh(black_box(&mesh_comp)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

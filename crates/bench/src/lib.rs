@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench regenerates one table or figure of the paper: it prints
+//! the same rows/series the paper reports (via [`report`]) and then
+//! criterion-times the operation the experiment measures. Scene setup is
+//! shared here so every bench observes the same participant.
+
+use semholo::{SceneSource, SemHoloConfig};
+
+/// The standard benchmark scene: a talking participant, 30 FPS,
+/// captured by a 4-camera ring at 96x72 (dense enough that capture
+/// coverage, not camera count, bounds cloud quality).
+pub fn bench_scene(seconds: f32) -> SceneSource {
+    let config = SemHoloConfig {
+        capture_resolution: (96, 72),
+        camera_count: 4,
+        ..Default::default()
+    };
+    SceneSource::new(&config, seconds)
+}
+
+/// Print a report line that survives criterion's output (stderr, tagged).
+pub fn report(line: &str) {
+    eprintln!("[paper] {line}");
+}
+
+/// Print a section header.
+pub fn report_header(title: &str) {
+    eprintln!();
+    eprintln!("[paper] ==== {title} ====");
+}
+
+/// Format bits-per-second as Mbps with two decimals.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.2} Mbps", bps / 1e6)
+}
+
+/// Bandwidth at 30 FPS for a per-frame payload size (paper Table 2
+/// arithmetic: payload bytes x 8 x 30).
+pub fn bandwidth_at_30fps(bytes: usize) -> f64 {
+    bytes as f64 * 8.0 * 30.0
+}

@@ -1,0 +1,125 @@
+//! Multi-party telepresence: how many participants fit on a link?
+//!
+//! The paper's telepresence vision is not point-to-point: meetings have
+//! N participants, each receiving everyone else's hologram. Without
+//! multicast, a participant's access link carries one upload and N-1
+//! downloads, so per-stream bandwidth multiplies into the capacity
+//! question that makes or breaks the meeting: **how many people can join
+//! before the link saturates?** Semantic streams (sub-Mbps) admit rooms
+//! two orders of magnitude larger than mesh streams — the quantified
+//! version of the paper's motivation.
+
+use crate::error::Result;
+use crate::scene::SceneSource;
+use crate::semantics::SemanticPipeline;
+use serde::{Deserialize, Serialize};
+
+/// Result of a conference capacity analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConferenceReport {
+    /// Participants simulated.
+    pub participants: usize,
+    /// Mean per-stream bandwidth, bps.
+    pub stream_bps: f64,
+    /// Per-participant download requirement (N-1 streams), bps.
+    pub download_bps: f64,
+    /// Whether the given access capacity fits upload + download.
+    pub fits: bool,
+    /// Largest participant count whose traffic fits the access capacity.
+    pub max_participants: usize,
+}
+
+/// Measure a pipeline's mean stream bandwidth over `frames` frames of a
+/// scene and derive conference capacity on an access link of
+/// `access_bps` (SFU model: one upload, N-1 downloads per participant).
+pub fn conference_capacity(
+    pipeline: &mut dyn SemanticPipeline,
+    scene: &SceneSource,
+    frames: usize,
+    participants: usize,
+    access_bps: f64,
+) -> Result<ConferenceReport> {
+    let fps = scene.context().config.fps as f64;
+    let mut total_bytes = 0usize;
+    let mut n = 0usize;
+    for frame in scene.frames(frames) {
+        let enc = pipeline.encode(&frame)?;
+        total_bytes += enc.payload.len();
+        n += 1;
+    }
+    let mean_bytes = total_bytes as f64 / n.max(1) as f64;
+    let stream_bps = mean_bytes * 8.0 * fps;
+    let download_bps = stream_bps * participants.saturating_sub(1) as f64;
+    let fits = stream_bps + download_bps <= access_bps;
+    // Capacity: upload + (N-1) downloads <= access.
+    let max_participants = if stream_bps <= 0.0 {
+        usize::MAX
+    } else {
+        ((access_bps - stream_bps) / stream_bps).floor().max(0.0) as usize + 1
+    };
+    Ok(ConferenceReport {
+        participants,
+        stream_bps,
+        download_bps,
+        fits,
+        max_participants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SemHoloConfig;
+    use crate::keypoint::{KeypointConfig, KeypointPipeline};
+    use crate::scene::SceneSource;
+    use crate::traditional::{MeshWire, TraditionalPipeline};
+
+    fn scene() -> SceneSource {
+        let config = SemHoloConfig {
+            capture_resolution: (48, 36),
+            camera_count: 2,
+            ..Default::default()
+        };
+        SceneSource::new(&config, 0.3)
+    }
+
+    #[test]
+    fn semantic_rooms_are_much_larger() {
+        let scene = scene();
+        let broadband = 25e6;
+        let mut kp = KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 1);
+        let mut trad = TraditionalPipeline::new(MeshWire::Compressed, 14);
+        let kp_cap = conference_capacity(&mut kp, &scene, 5, 4, broadband).unwrap();
+        let trad_cap = conference_capacity(&mut trad, &scene, 5, 4, broadband).unwrap();
+        assert!(
+            kp_cap.max_participants > trad_cap.max_participants * 10,
+            "semantic {} vs traditional {} participants",
+            kp_cap.max_participants,
+            trad_cap.max_participants
+        );
+        // The paper's broadband regime: compressed mesh fits only a
+        // handful of peers.
+        assert!(trad_cap.max_participants < 6, "mesh room {}", trad_cap.max_participants);
+        assert!(kp_cap.max_participants > 30, "semantic room {}", kp_cap.max_participants);
+    }
+
+    #[test]
+    fn download_scales_with_room_size() {
+        let scene = scene();
+        let mut kp = KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 2);
+        let small = conference_capacity(&mut kp, &scene, 3, 2, 25e6).unwrap();
+        let mut kp2 = KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 2);
+        let large = conference_capacity(&mut kp2, &scene, 3, 10, 25e6).unwrap();
+        assert!(large.download_bps > small.download_bps * 4.0);
+        assert!(small.fits);
+    }
+
+    #[test]
+    fn raw_mesh_conference_does_not_fit_broadband() {
+        let scene = scene();
+        let mut raw = TraditionalPipeline::new(MeshWire::Raw, 14);
+        let cap = conference_capacity(&mut raw, &scene, 2, 3, 25e6).unwrap();
+        assert!(!cap.fits, "raw mesh 3-way call cannot fit 25 Mbps");
+        assert_eq!(cap.max_participants, 1, "raw mesh fits nobody else");
+    }
+}

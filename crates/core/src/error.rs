@@ -1,0 +1,56 @@
+//! Error type for the SemHolo pipelines.
+
+use std::fmt;
+
+/// Errors surfaced by SemHolo pipelines and sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemHoloError {
+    /// A wire payload failed to parse or decompress.
+    Codec(String),
+    /// Semantic extraction failed (e.g. too few keypoints).
+    Extraction(String),
+    /// Reconstruction failed (e.g. edge device out of memory).
+    Reconstruction(String),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for SemHoloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemHoloError::Codec(m) => write!(f, "codec error: {m}"),
+            SemHoloError::Extraction(m) => write!(f, "extraction error: {m}"),
+            SemHoloError::Reconstruction(m) => write!(f, "reconstruction error: {m}"),
+            SemHoloError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SemHoloError {}
+
+impl From<holo_gpu::ExecError> for SemHoloError {
+    fn from(e: holo_gpu::ExecError) -> Self {
+        SemHoloError::Reconstruction(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SemHoloError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SemHoloError::Codec("bad magic".into()).to_string().contains("bad magic"));
+        assert!(SemHoloError::Extraction("x".into()).to_string().starts_with("extraction"));
+    }
+
+    #[test]
+    fn from_gpu_error() {
+        let e: SemHoloError =
+            holo_gpu::ExecError::OutOfMemory { required: 1 << 31, available: 1 << 30 }.into();
+        assert!(matches!(e, SemHoloError::Reconstruction(_)));
+    }
+}

@@ -1,0 +1,67 @@
+//! **SemHolo** — semantic-driven holographic communication for immersive
+//! telepresence.
+//!
+//! This crate is the primary contribution of the HotNets '23 paper
+//! "Enriching Telepresence with Semantic-driven Holographic
+//! Communication" (Cheng, Liu, Wu, Han), rebuilt as a working system on
+//! the substrate crates of this workspace. Instead of shipping volumetric
+//! content bit by bit, a SemHolo sender extracts *semantics* — keypoints,
+//! 2D images, or text — and the receiver reconstructs the sender's
+//! hologram from them.
+//!
+//! # Architecture (paper Fig. 1)
+//!
+//! ```text
+//!  capture (RGB-D rig) ──► semantic extraction ──► compression ──►
+//!    Internet (simulated link) ──► reconstruction (edge GPU model) ──► render
+//! ```
+//!
+//! Four interchangeable pipelines implement [`SemanticPipeline`]:
+//!
+//! - [`traditional`] — the baseline: the full posed mesh, raw or
+//!   Draco-style compressed (Table 2's "traditional communication").
+//! - [`keypoint`] — the paper's proof-of-concept: detect 3D keypoints,
+//!   fit SMPL-X parameters, ship 1.91 KB/frame, reconstruct the body as
+//!   an implicit surface and re-mesh it at a chosen resolution (§3.1,
+//!   §4).
+//! - [`image`] — NeRF-based image semantics with pre-train + per-frame
+//!   fine-tuning and bandwidth-adaptive resolution (§3.2).
+//! - [`text`] — VQ-token "text" semantics with temporal deltas and
+//!   global+local channels (§3.3).
+//!
+//! Plus the research-agenda hybrid:
+//!
+//! - [`foveated`] — gaze-contingent hybrid: full mesh for the foveal
+//!   region, keypoints for the periphery (§3.1).
+//!
+//! [`session`] wires any pipeline to the simulated network and the GPU
+//! cost model and produces per-frame latency/bandwidth/quality reports;
+//! [`qoe`] condenses them into a quality-of-experience score;
+//! [`conference`] answers the multi-party capacity question (how many
+//! participants fit on a broadband link per semantics type).
+
+pub mod conference;
+pub mod config;
+pub mod error;
+pub mod foveated;
+pub mod image;
+pub mod keypoint;
+pub mod qoe;
+pub mod scene;
+pub mod semantics;
+pub mod session;
+pub mod text;
+pub mod traditional;
+
+pub use conference::{conference_capacity, ConferenceReport};
+pub use config::SemHoloConfig;
+pub use error::SemHoloError;
+pub use foveated::FoveatedPipeline;
+pub use image::ImagePipeline;
+pub use keypoint::KeypointPipeline;
+pub use qoe::{qoe_score, QoeWeights};
+pub use scene::{SceneContext, SceneFrame, SceneSource};
+pub use semantics::{Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
+pub use session::{FrameReport, Session, SessionReport};
+pub use text::TextPipeline;
+pub use traditional::TraditionalPipeline;

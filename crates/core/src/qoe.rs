@@ -1,0 +1,147 @@
+//! Quality of experience: one number out of latency, delivery, quality,
+//! and frame rate.
+//!
+//! The paper frames the goal as "the optimal balance of minimizing
+//! bandwidth consumption and end-to-end latency while preserving a
+//! satisfactory level of visual quality". This module condenses a
+//! [`SessionReport`](crate::session::SessionReport) into a [0, 1] score
+//! so ablations (foveal radius, keypoint count, ladder choice) can be
+//! compared on one axis.
+
+use crate::session::SessionReport;
+use serde::{Deserialize, Serialize};
+
+/// Component weights (sum need not be 1; the score normalizes).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QoeWeights {
+    /// Weight of visual quality.
+    pub quality: f64,
+    /// Weight of latency compliance.
+    pub latency: f64,
+    /// Weight of frame delivery ratio.
+    pub delivery: f64,
+    /// Weight of sustainable frame rate.
+    pub framerate: f64,
+    /// Latency budget, ms (paper: 100 ms).
+    pub latency_budget_ms: f64,
+    /// Target frame rate (paper: 30 FPS).
+    pub target_fps: f64,
+    /// Chamfer distance considered "unusable", meters.
+    pub chamfer_floor: f64,
+}
+
+impl Default for QoeWeights {
+    fn default() -> Self {
+        Self {
+            quality: 1.0,
+            latency: 1.0,
+            delivery: 0.5,
+            framerate: 1.0,
+            latency_budget_ms: 100.0,
+            target_fps: 30.0,
+            chamfer_floor: 0.05,
+        }
+    }
+}
+
+/// Score a session in [0, 1].
+pub fn qoe_score(report: &SessionReport, w: &QoeWeights) -> f64 {
+    let total_frames = report.frames.len().max(1);
+    let delivery = report.delivered as f64 / total_frames as f64;
+    let latency = report.within_100ms_with_budget(w.latency_budget_ms);
+    let quality = match (report.mean_chamfer, report.mean_psnr) {
+        (Some(c), _) => (1.0 - c / w.chamfer_floor).clamp(0.0, 1.0),
+        (None, Some(p)) => ((p - 10.0) / 25.0).clamp(0.0, 1.0),
+        (None, None) => 0.5, // unmeasured: neutral
+    };
+    let framerate = (report.sustainable_fps / w.target_fps).clamp(0.0, 1.0);
+    let total_w = w.quality + w.latency + w.delivery + w.framerate;
+    (w.quality * quality + w.latency * latency + w.delivery * delivery + w.framerate * framerate)
+        / total_w.max(1e-9)
+}
+
+impl SessionReport {
+    /// Fraction of delivered frames under an arbitrary latency budget.
+    pub fn within_100ms_with_budget(&self, budget_ms: f64) -> f64 {
+        let delivered: Vec<_> = self.frames.iter().filter(|f| f.delivered).collect();
+        if delivered.is_empty() {
+            return 0.0;
+        }
+        delivered.iter().filter(|f| f.e2e_ms <= budget_ms).count() as f64 / delivered.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::FrameReport;
+    use holo_math::Summary;
+
+    fn report(e2e_ms: f64, chamfer: Option<f64>, fps: f64, delivered: usize, total: usize) -> SessionReport {
+        let mut frames = Vec::new();
+        for i in 0..total {
+            frames.push(FrameReport {
+                index: i,
+                payload_bytes: 1000,
+                delivered: i < delivered,
+                extract_ms: 1.0,
+                network_ms: 1.0,
+                reconstruct_ms: 1.0,
+                e2e_ms,
+                quality: None,
+            });
+        }
+        SessionReport {
+            frames,
+            delivered,
+            payload: Summary::new(),
+            e2e_ms: Summary::new(),
+            required_bps: 0.0,
+            sustainable_fps: fps,
+            mean_chamfer: chamfer,
+            mean_psnr: None,
+        }
+    }
+
+    #[test]
+    fn perfect_session_scores_high() {
+        let r = report(30.0, Some(0.002), 60.0, 10, 10);
+        let s = qoe_score(&r, &QoeWeights::default());
+        assert!(s > 0.9, "score {s}");
+    }
+
+    #[test]
+    fn slow_reconstruction_tanks_score() {
+        let good = report(30.0, Some(0.005), 60.0, 10, 10);
+        let slow = report(900.0, Some(0.005), 0.5, 10, 10);
+        let w = QoeWeights::default();
+        assert!(qoe_score(&slow, &w) < qoe_score(&good, &w) - 0.3);
+    }
+
+    #[test]
+    fn bad_quality_hurts() {
+        let sharp = report(30.0, Some(0.002), 60.0, 10, 10);
+        let blurry = report(30.0, Some(0.08), 60.0, 10, 10);
+        let w = QoeWeights::default();
+        assert!(qoe_score(&blurry, &w) < qoe_score(&sharp, &w));
+    }
+
+    #[test]
+    fn dropped_frames_hurt() {
+        let all = report(30.0, Some(0.005), 60.0, 10, 10);
+        let half = report(30.0, Some(0.005), 60.0, 5, 10);
+        let w = QoeWeights::default();
+        assert!(qoe_score(&half, &w) < qoe_score(&all, &w));
+    }
+
+    #[test]
+    fn score_bounded() {
+        for r in [
+            report(1e6, Some(10.0), 0.0, 0, 10),
+            report(0.0, Some(0.0), 1e6, 10, 10),
+        ] {
+            let s = qoe_score(&r, &QoeWeights::default());
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! SMPL-X-like parametric human avatar.
+//!
+//! The paper's proof-of-concept transmits "3D pose aligned with SMPL-X" —
+//! 1.91 KB per frame — and reconstructs meshes from it with X-Avatar. This
+//! crate is the SMPL-X substitute: a from-scratch parametric body with the
+//! same parameter layout (55-joint skeleton, 10 shape betas, 10 expression
+//! coefficients), so the data-size arithmetic of Table 2 reproduces
+//! faithfully, plus the machinery around it:
+//!
+//! - [`skeleton`] — the 55-joint kinematic tree with forward kinematics
+//!   and shape-dependent bone lengths.
+//! - [`params`] — [`SmplxParams`], the per-frame pose/shape/expression
+//!   parameter block, and [`PosePayload`], the exact wire payload the
+//!   keypoint pipeline transmits (1956 bytes ≈ 1.91 KB).
+//! - [`surface`] — the posed body as an analytic SDF (capsule/rounded-cone
+//!   limbs, ellipsoid head and torso) with optional cloth-detail
+//!   displacement and expression bumps, standing in for X-Avatar's
+//!   implicit geometry network.
+//! - [`model`] — [`BodyModel`]: a fixed-topology template mesh (SMPL-X
+//!   scale: ~10k vertices / ~21k faces) skinned with linear blend
+//!   skinning, the "traditional communication" baseline of Table 2.
+//! - [`motion`] — deterministic synthetic motion clips (talking, waving,
+//!   walking) providing the capture workload for every experiment.
+//! - [`landmarks`] — keypoint/landmark sets at several densities (25–244
+//!   points), the semantic payload of §3.1 and ablation D.
+//! - [`expression`] — a facial expression basis split into coarse and fine
+//!   components, reproducing Fig. 3's observation that a learned model
+//!   recovers the open mouth but misses the pout.
+
+pub mod expression;
+pub mod landmarks;
+pub mod model;
+pub mod motion;
+pub mod params;
+pub mod skeleton;
+pub mod surface;
+
+pub use expression::{ExpressionBasis, ExpressionComponent};
+pub use landmarks::{LandmarkSet, StandardLandmarks};
+pub use model::BodyModel;
+pub use motion::{MotionClip, MotionKind, MotionSynthesizer};
+pub use params::{PosePayload, SmplxParams, EXPRESSION_DIM, SHAPE_DIM};
+pub use skeleton::{Joint, Skeleton, JOINT_COUNT};
+pub use surface::{BodySdf, SurfaceDetail};

@@ -1,0 +1,20 @@
+//! Synthetic RGB-D capture substrate.
+//!
+//! The paper's pipeline starts with "multiple RGB(-D) sensors capturing"
+//! each participant (Fig. 1). Real Kinect hardware is not available here,
+//! so this crate simulates it end to end: pinhole cameras with intrinsics
+//! and extrinsics ([`camera`]), depth + color rendering of any SDF by
+//! sphere tracing ([`render`]), Kinect-class depth noise and dropout
+//! models ([`noise`]), and multi-camera rigs whose frames fuse into
+//! colored point clouds ([`rig`]). All randomness is seeded, so captures
+//! replay exactly.
+
+pub mod camera;
+pub mod noise;
+pub mod render;
+pub mod rig;
+
+pub use camera::{Camera, CameraIntrinsics};
+pub use noise::DepthNoiseModel;
+pub use render::{render_rgbd, DepthImage, RgbdFrame, ShadingConfig};
+pub use rig::{CaptureRig, RigConfig};

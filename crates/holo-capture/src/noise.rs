@@ -1,0 +1,146 @@
+//! Depth sensor noise models.
+//!
+//! Commodity RGB-D cameras (Kinect, RealSense) have depth noise that grows
+//! quadratically with distance and dropouts at grazing incidence. The
+//! capture pipeline applies this model so downstream keypoint detection
+//! and fusion operate on realistically imperfect data.
+
+use holo_math::{Pcg32, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Kinect-class axial noise + dropout model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DepthNoiseModel {
+    /// Constant axial noise floor, meters (Kinect v2: ~1.5 mm).
+    pub sigma_base: f32,
+    /// Quadratic distance coefficient, meters^-1 (sigma grows with z^2).
+    pub sigma_quadratic: f32,
+    /// Dropout probability at normal incidence.
+    pub dropout_base: f32,
+    /// Additional dropout as incidence approaches grazing (cosine < this
+    /// threshold drops out with high probability).
+    pub grazing_cos_threshold: f32,
+}
+
+impl Default for DepthNoiseModel {
+    fn default() -> Self {
+        Self {
+            sigma_base: 0.0015,
+            sigma_quadratic: 0.0019,
+            dropout_base: 0.002,
+            grazing_cos_threshold: 0.18,
+        }
+    }
+}
+
+impl DepthNoiseModel {
+    /// A noiseless model (ground-truth captures).
+    pub fn none() -> Self {
+        Self { sigma_base: 0.0, sigma_quadratic: 0.0, dropout_base: 0.0, grazing_cos_threshold: 0.0 }
+    }
+
+    /// Axial standard deviation at depth `z`.
+    pub fn sigma_at(&self, z: f32) -> f32 {
+        self.sigma_base + self.sigma_quadratic * z * z
+    }
+
+    /// Perturb a measured depth; returns `None` on dropout.
+    ///
+    /// `cos_incidence` is the absolute cosine between the surface normal
+    /// and the view ray.
+    pub fn apply(&self, z: f32, cos_incidence: f32, rng: &mut Pcg32) -> Option<f32> {
+        let dropout = if cos_incidence < self.grazing_cos_threshold {
+            0.85
+        } else {
+            self.dropout_base
+        };
+        if dropout > 0.0 && rng.chance(dropout) {
+            return None;
+        }
+        let sigma = self.sigma_at(z);
+        if sigma <= 0.0 {
+            return Some(z);
+        }
+        Some((z + rng.normal() * sigma).max(0.0))
+    }
+
+    /// Perturb a 3D keypoint position directly (used by the keypoint
+    /// detector simulators): axial noise along `view_dir` plus smaller
+    /// lateral noise.
+    pub fn perturb_point(&self, p: Vec3, camera_pos: Vec3, rng: &mut Pcg32) -> Vec3 {
+        let view = (p - camera_pos).normalized();
+        let z = (p - camera_pos).length();
+        let sigma_axial = self.sigma_at(z);
+        let sigma_lateral = sigma_axial * 0.4;
+        let lat1 = view.any_orthonormal();
+        let lat2 = view.cross(lat1);
+        p + view * (rng.normal() * sigma_axial)
+            + lat1 * (rng.normal() * sigma_lateral)
+            + lat2 * (rng.normal() * sigma_lateral)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_grows_with_distance() {
+        let m = DepthNoiseModel::default();
+        assert!(m.sigma_at(4.0) > m.sigma_at(1.0));
+        assert!(m.sigma_at(1.0) >= m.sigma_base);
+    }
+
+    #[test]
+    fn noiseless_model_is_identity() {
+        let m = DepthNoiseModel::none();
+        let mut rng = Pcg32::new(1);
+        for z in [0.5, 1.0, 3.0] {
+            assert_eq!(m.apply(z, 1.0, &mut rng), Some(z));
+        }
+    }
+
+    #[test]
+    fn noise_statistics_match_model() {
+        let m = DepthNoiseModel::default();
+        let mut rng = Pcg32::new(2);
+        let z = 2.0f32;
+        let samples: Vec<f32> = (0..20_000)
+            .filter_map(|_| m.apply(z, 1.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>() / samples.len() as f32;
+        let expected = m.sigma_at(z);
+        assert!((mean - z).abs() < 0.001, "mean {mean}");
+        assert!((var.sqrt() - expected).abs() / expected < 0.1, "sigma {} vs {expected}", var.sqrt());
+    }
+
+    #[test]
+    fn grazing_incidence_drops_out() {
+        let m = DepthNoiseModel::default();
+        let mut rng = Pcg32::new(3);
+        let drops = (0..1000).filter(|_| m.apply(1.0, 0.05, &mut rng).is_none()).count();
+        assert!(drops > 700, "grazing dropouts {drops}/1000");
+        let mut rng = Pcg32::new(3);
+        let drops_normal = (0..1000).filter(|_| m.apply(1.0, 0.95, &mut rng).is_none()).count();
+        assert!(drops_normal < 20, "normal-incidence dropouts {drops_normal}/1000");
+    }
+
+    #[test]
+    fn perturb_point_rms_matches_sigma() {
+        let m = DepthNoiseModel::default();
+        let mut rng = Pcg32::new(4);
+        let p = Vec3::new(0.0, 1.0, 0.0);
+        let cam = Vec3::new(0.0, 1.0, 2.0);
+        let n = 5000;
+        let rms = ((0..n)
+            .map(|_| (m.perturb_point(p, cam, &mut rng) - p).length_sq())
+            .sum::<f32>()
+            / n as f32)
+            .sqrt();
+        let sigma = m.sigma_at(2.0);
+        // Total RMS combines axial + two lateral components.
+        let expected = (sigma * sigma * (1.0 + 2.0 * 0.16)).sqrt();
+        assert!((rms - expected).abs() / expected < 0.15, "rms {rms} vs {expected}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Compression substrate for the SemHolo reproduction.
+//!
+//! Table 2 of the paper compresses the keypoint-semantics pose stream with
+//! **LZMA** (1.91 KB → 1.23 KB per frame) and the traditional mesh stream
+//! with **Draco** (397.7 KB → 42.1 KB per frame). Neither is available as
+//! a sanctioned offline crate, so this crate implements the same algorithm
+//! families from scratch:
+//!
+//! - [`rc`] — an adaptive binary range coder (the entropy backbone of both
+//!   codecs), with adaptive bit models, bit trees, and direct bits.
+//! - [`primitives`] — zigzag, varint, and delta transforms.
+//! - [`lzma`] — an LZ77 codec with hash-chain match finding, order-1
+//!   literal contexts, and rep-distance modeling: structurally an LZMA
+//!   sibling, used everywhere the paper says "LZMA".
+//! - [`meshcodec`] — a Draco-class triangle-mesh codec: connectivity by
+//!   region-growing traversal with implicit vertex numbering, positions by
+//!   quantization + parallelogram prediction, everything entropy-coded.
+//! - [`texture`] — a DXT/BTC-style 4x4 block texture codec (4 bpp), the
+//!   "compressed 2D texture" channel of §3.1.
+//! - [`temporal`] — inter-frame mesh compression for fixed-topology
+//!   streams (connectivity once, closed-loop position deltas after), the
+//!   Draco-animation-class upgrade of the traditional baseline.
+//!
+//! All codecs are deterministic and round-trip tested (proptest).
+
+pub mod lzma;
+pub mod temporal;
+pub mod meshcodec;
+pub mod primitives;
+pub mod rc;
+pub mod texture;
+
+pub use lzma::{lzma_compress, lzma_decompress};
+pub use meshcodec::{decode_mesh, encode_mesh, MeshCodecConfig};
+pub use temporal::{TemporalMeshDecoder, TemporalMeshEncoder};
+pub use texture::{Texture, TextureCodec};

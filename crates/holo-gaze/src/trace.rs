@@ -1,0 +1,230 @@
+//! Synthetic gaze traces.
+//!
+//! A state machine alternates fixations (with physiological tremor and
+//! micro-drift), smooth pursuits (constant angular velocity toward a
+//! moving target), and saccades (ballistic jumps following the "main
+//! sequence": peak velocity grows with amplitude, duration ~2.2 ms/deg +
+//! 21 ms, minimum-jerk velocity profile). Angles are in degrees of visual
+//! field; positions are 2D (azimuth, elevation).
+
+use holo_math::{Pcg32, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// One gaze sample.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GazeSample {
+    /// Time, seconds.
+    pub t: f32,
+    /// Gaze position, degrees (azimuth, elevation).
+    pub pos: Vec2,
+    /// True generating state (for classifier evaluation).
+    pub true_class: u8,
+}
+
+/// Ground-truth class labels used in [`GazeSample::true_class`].
+pub const CLASS_FIXATION: u8 = 0;
+pub const CLASS_PURSUIT: u8 = 1;
+pub const CLASS_SACCADE: u8 = 2;
+
+/// Synthesizer configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GazeTraceConfig {
+    /// Sampling rate, Hz (eye trackers: 90-240).
+    pub sample_rate: f32,
+    /// Fixation duration range, seconds.
+    pub fixation_duration: (f32, f32),
+    /// Saccade amplitude range, degrees.
+    pub saccade_amplitude: (f32, f32),
+    /// Probability that a movement is a smooth pursuit instead of a
+    /// saccade.
+    pub pursuit_probability: f32,
+    /// Pursuit angular speed range, degrees/second.
+    pub pursuit_speed: (f32, f32),
+    /// Fixation tremor standard deviation, degrees.
+    pub tremor_sigma: f32,
+    /// Field of view half-extent, degrees (gaze stays inside).
+    pub fov_half: f32,
+}
+
+impl Default for GazeTraceConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 120.0,
+            fixation_duration: (0.15, 0.5),
+            saccade_amplitude: (3.0, 18.0),
+            pursuit_probability: 0.25,
+            pursuit_speed: (35.0, 80.0),
+            tremor_sigma: 0.03,
+            fov_half: 40.0,
+        }
+    }
+}
+
+/// Saccade duration from amplitude (main sequence): ~2.2 ms/deg + 21 ms.
+pub fn saccade_duration(amplitude_deg: f32) -> f32 {
+    0.021 + 0.0022 * amplitude_deg
+}
+
+/// Peak velocity from amplitude (main sequence, soft-saturating):
+/// `Vmax = 500 * (1 - exp(-A / 15))` deg/s.
+pub fn saccade_peak_velocity(amplitude_deg: f32) -> f32 {
+    500.0 * (1.0 - (-amplitude_deg / 15.0).exp())
+}
+
+/// Minimum-jerk position profile on [0, 1].
+fn min_jerk(s: f32) -> f32 {
+    let s = s.clamp(0.0, 1.0);
+    s * s * s * (10.0 - 15.0 * s + 6.0 * s * s)
+}
+
+/// Deterministic gaze trace generator.
+pub struct GazeSynthesizer {
+    cfg: GazeTraceConfig,
+    rng: Pcg32,
+}
+
+impl GazeSynthesizer {
+    /// Create with a seed.
+    pub fn new(cfg: GazeTraceConfig, seed: u64) -> Self {
+        Self { cfg, rng: Pcg32::new(seed) }
+    }
+
+    /// Generate `duration_s` seconds of gaze.
+    pub fn generate(&mut self, duration_s: f32) -> Vec<GazeSample> {
+        let dt = 1.0 / self.cfg.sample_rate;
+        let n = (duration_s * self.cfg.sample_rate) as usize;
+        let mut samples = Vec::with_capacity(n);
+        let mut pos = Vec2::new(0.0, 0.0);
+        let mut t = 0.0f32;
+
+        while samples.len() < n {
+            // Fixation.
+            let fix_dur = self.rng.range_f32(self.cfg.fixation_duration.0, self.cfg.fixation_duration.1);
+            let fix_end = t + fix_dur;
+            let anchor = pos;
+            while t < fix_end && samples.len() < n {
+                let tremor = Vec2::new(self.rng.normal(), self.rng.normal()) * self.cfg.tremor_sigma;
+                pos = anchor + tremor;
+                samples.push(GazeSample { t, pos, true_class: CLASS_FIXATION });
+                t += dt;
+            }
+            if samples.len() >= n {
+                break;
+            }
+            // Movement: pursuit or saccade toward a new target.
+            let target = self.pick_target(anchor);
+            if self.rng.chance(self.cfg.pursuit_probability) {
+                let speed = self.rng.range_f32(self.cfg.pursuit_speed.0, self.cfg.pursuit_speed.1);
+                let dist = anchor.distance(target);
+                let dur = (dist / speed).clamp(0.2, 1.5);
+                let end = t + dur;
+                let start_t = t;
+                let start = pos;
+                while t < end && samples.len() < n {
+                    let s = (t - start_t) / dur;
+                    pos = start.lerp(target, s)
+                        + Vec2::new(self.rng.normal(), self.rng.normal()) * (self.cfg.tremor_sigma * 0.5);
+                    samples.push(GazeSample { t, pos, true_class: CLASS_PURSUIT });
+                    t += dt;
+                }
+            } else {
+                let amp = anchor.distance(target);
+                let dur = saccade_duration(amp);
+                let end = t + dur;
+                let start_t = t;
+                let start = pos;
+                while t < end && samples.len() < n {
+                    let s = (t - start_t) / dur;
+                    pos = start.lerp(target, min_jerk(s));
+                    samples.push(GazeSample { t, pos, true_class: CLASS_SACCADE });
+                    t += dt;
+                }
+                pos = target;
+            }
+        }
+        samples
+    }
+
+    fn pick_target(&mut self, from: Vec2) -> Vec2 {
+        for _ in 0..32 {
+            let amp = self.rng.range_f32(self.cfg.saccade_amplitude.0, self.cfg.saccade_amplitude.1);
+            let theta = self.rng.range_f32(0.0, std::f32::consts::TAU);
+            let target = from + Vec2::new(amp * theta.cos(), amp * theta.sin());
+            if target.x.abs() < self.cfg.fov_half && target.y.abs() < self.cfg.fov_half {
+                return target;
+            }
+        }
+        Vec2::new(0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seed: u64, secs: f32) -> Vec<GazeSample> {
+        GazeSynthesizer::new(GazeTraceConfig::default(), seed).generate(secs)
+    }
+
+    #[test]
+    fn trace_has_expected_length_and_bounds() {
+        let s = trace(1, 5.0);
+        assert_eq!(s.len(), 600);
+        for g in &s {
+            assert!(g.pos.x.abs() < 45.0 && g.pos.y.abs() < 45.0, "gaze out of fov: {:?}", g.pos);
+        }
+    }
+
+    #[test]
+    fn contains_all_three_classes() {
+        let s = trace(2, 20.0);
+        let count = |c: u8| s.iter().filter(|g| g.true_class == c).count();
+        assert!(count(CLASS_FIXATION) > s.len() / 3, "fixations dominate normal viewing");
+        assert!(count(CLASS_SACCADE) > 10);
+        assert!(count(CLASS_PURSUIT) > 10);
+    }
+
+    #[test]
+    fn saccades_are_fast_fixations_slow() {
+        let s = trace(3, 20.0);
+        let dt = 1.0 / 120.0;
+        let mut sacc_v = Vec::new();
+        let mut fix_v = Vec::new();
+        for w in s.windows(2) {
+            let v = w[0].pos.distance(w[1].pos) / dt;
+            if w[0].true_class == CLASS_SACCADE && w[1].true_class == CLASS_SACCADE {
+                sacc_v.push(v);
+            }
+            if w[0].true_class == CLASS_FIXATION && w[1].true_class == CLASS_FIXATION {
+                fix_v.push(v);
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        assert!(mean(&sacc_v) > 100.0, "saccade speed {}", mean(&sacc_v));
+        assert!(mean(&fix_v) < 40.0, "fixation speed {}", mean(&fix_v));
+    }
+
+    #[test]
+    fn main_sequence_monotone() {
+        assert!(saccade_peak_velocity(20.0) > saccade_peak_velocity(5.0));
+        assert!(saccade_duration(20.0) > saccade_duration(5.0));
+        // Peak velocity saturates below 500 deg/s.
+        assert!(saccade_peak_velocity(60.0) < 500.0);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = trace(7, 3.0);
+        let b = trace(7, 3.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pos, y.pos);
+        }
+    }
+
+    #[test]
+    fn min_jerk_endpoints() {
+        assert_eq!(min_jerk(0.0), 0.0);
+        assert!((min_jerk(1.0) - 1.0).abs() < 1e-6);
+        assert!(min_jerk(0.5) > 0.4 && min_jerk(0.5) < 0.6);
+    }
+}

@@ -1,0 +1,19 @@
+//! Analytical GPU cost model.
+//!
+//! The paper measures X-Avatar reconstruction on an NVIDIA A100 (Fig. 4)
+//! and notes an RTX 3080 laptop GPU "cannot handle the mesh reconstruction
+//! at resolutions of 512 and 1024". Neither device is available here, so
+//! this crate substitutes a roofline-style cost model: a kernel's
+//! execution time is the maximum of its compute time (FLOPs over
+//! effective FLOP/s) and its memory time (bytes over effective
+//! bandwidth), and a kernel whose working set exceeds device VRAM fails
+//! with an out-of-memory error. Device parameters come from published
+//! spec sheets; the workload model for X-Avatar-style implicit
+//! reconstruction is calibrated in [`workloads`] against the paper's own
+//! Fig. 4 anchor (~2.5 FPS at resolution 128 on the A100).
+
+pub mod device;
+pub mod workloads;
+
+pub use device::{Device, ExecError, Workload};
+pub use workloads::{detector_workload, reconstruction_workload, ReconstructionWorkload};

@@ -1,0 +1,261 @@
+//! Temporal filters for keypoint streams.
+//!
+//! Raw detector output jitters; real pipelines smooth it. Two standard
+//! choices are implemented: the One-Euro filter (Casiez et al. 2012 — an
+//! adaptive low-pass whose cutoff rises with speed, trading lag for
+//! jitter exactly where it matters) and a constant-velocity Kalman filter
+//! per keypoint.
+
+use holo_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One-Euro filter state for a scalar channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OneEuroChannel {
+    x_prev: Option<f32>,
+    dx_prev: f32,
+}
+
+/// One-Euro filter for 3D points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneEuroFilter {
+    /// Minimum cutoff frequency, Hz (lower = smoother at rest).
+    pub min_cutoff: f32,
+    /// Speed coefficient (higher = less lag during fast motion).
+    pub beta: f32,
+    /// Derivative low-pass cutoff, Hz.
+    pub d_cutoff: f32,
+    channels: [OneEuroChannel; 3],
+}
+
+fn alpha(cutoff: f32, dt: f32) -> f32 {
+    let tau = 1.0 / (std::f32::consts::TAU * cutoff.max(1e-6));
+    dt / (dt + tau)
+}
+
+impl OneEuroFilter {
+    /// Standard tracking parameters.
+    pub fn new(min_cutoff: f32, beta: f32) -> Self {
+        Self {
+            min_cutoff,
+            beta,
+            d_cutoff: 1.0,
+            channels: std::array::from_fn(|_| OneEuroChannel { x_prev: None, dx_prev: 0.0 }),
+        }
+    }
+
+    /// Filter one observation taken `dt` seconds after the previous one.
+    pub fn filter(&mut self, p: Vec3, dt: f32) -> Vec3 {
+        let dt = dt.max(1e-4);
+        let inputs = [p.x, p.y, p.z];
+        let mut out = [0f32; 3];
+        for (k, ch) in self.channels.iter_mut().enumerate() {
+            let x = inputs[k];
+            let Some(prev) = ch.x_prev else {
+                ch.x_prev = Some(x);
+                out[k] = x;
+                continue;
+            };
+            // Derivative estimate, low-passed.
+            let dx = (x - prev) / dt;
+            let a_d = alpha(self.d_cutoff, dt);
+            let dx_hat = a_d * dx + (1.0 - a_d) * ch.dx_prev;
+            ch.dx_prev = dx_hat;
+            // Speed-adaptive cutoff.
+            let cutoff = self.min_cutoff + self.beta * dx_hat.abs();
+            let a = alpha(cutoff, dt);
+            let filtered = a * x + (1.0 - a) * prev;
+            ch.x_prev = Some(filtered);
+            out[k] = filtered;
+        }
+        Vec3::new(out[0], out[1], out[2])
+    }
+
+    /// Reset state (e.g. after a track loss).
+    pub fn reset(&mut self) {
+        for ch in &mut self.channels {
+            ch.x_prev = None;
+            ch.dx_prev = 0.0;
+        }
+    }
+}
+
+/// Constant-velocity Kalman filter for one 3D keypoint. Each axis is an
+/// independent (position, velocity) state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KalmanFilter3 {
+    /// Process noise (acceleration) standard deviation, m/s^2.
+    pub process_sigma: f32,
+    /// Measurement noise standard deviation, m.
+    pub measurement_sigma: f32,
+    // Per-axis state: position, velocity, and 2x2 covariance (p00, p01, p11).
+    state: [[f32; 5]; 3],
+    initialized: bool,
+}
+
+impl KalmanFilter3 {
+    /// Build with the given noise magnitudes.
+    pub fn new(process_sigma: f32, measurement_sigma: f32) -> Self {
+        Self {
+            process_sigma,
+            measurement_sigma,
+            state: [[0.0, 0.0, 1.0, 0.0, 1.0]; 3],
+            initialized: false,
+        }
+    }
+
+    /// Predict-update with one measurement `z` after `dt` seconds.
+    pub fn step(&mut self, z: Vec3, dt: f32) -> Vec3 {
+        let dt = dt.max(1e-4);
+        let meas = [z.x, z.y, z.z];
+        if !self.initialized {
+            for (k, s) in self.state.iter_mut().enumerate() {
+                *s = [meas[k], 0.0, self.measurement_sigma * self.measurement_sigma, 0.0, 1.0];
+            }
+            self.initialized = true;
+            return z;
+        }
+        let q = self.process_sigma * self.process_sigma;
+        let r = self.measurement_sigma * self.measurement_sigma;
+        let mut out = [0f32; 3];
+        for (k, s) in self.state.iter_mut().enumerate() {
+            let [x, v, p00, p01, p11] = *s;
+            // Predict.
+            let xp = x + v * dt;
+            let vp = v;
+            // F P F^T + Q (discrete white-acceleration model).
+            let dt2 = dt * dt;
+            let q00 = q * dt2 * dt2 / 4.0;
+            let q01 = q * dt2 * dt / 2.0;
+            let q11 = q * dt2;
+            let pp00 = p00 + 2.0 * dt * p01 + dt2 * p11 + q00;
+            let pp01 = p01 + dt * p11 + q01;
+            let pp11 = p11 + q11;
+            // Update with measurement of position.
+            let innov = meas[k] - xp;
+            let s_cov = pp00 + r;
+            let k0 = pp00 / s_cov;
+            let k1 = pp01 / s_cov;
+            let xn = xp + k0 * innov;
+            let vn = vp + k1 * innov;
+            let p00n = (1.0 - k0) * pp00;
+            let p01n = (1.0 - k0) * pp01;
+            let p11n = pp11 - k1 * pp01;
+            *s = [xn, vn, p00n, p01n, p11n];
+            out[k] = xn;
+        }
+        Vec3::new(out[0], out[1], out[2])
+    }
+
+    /// Predict the position `dt` seconds ahead without a measurement.
+    pub fn predict(&self, dt: f32) -> Vec3 {
+        Vec3::new(
+            self.state[0][0] + self.state[0][1] * dt,
+            self.state[1][0] + self.state[1][1] * dt,
+            self.state[2][0] + self.state[2][1] * dt,
+        )
+    }
+}
+
+/// Apply a filter bank (one per keypoint) to a frame of observations.
+pub fn filter_frame(filters: &mut [OneEuroFilter], frame: &[Vec3], dt: f32) -> Vec<Vec3> {
+    filters.iter_mut().zip(frame).map(|(f, &p)| f.filter(p, dt)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_math::Pcg32;
+
+    /// A smooth human-speed trajectory plus noise; returns (truth, noisy).
+    fn noisy_track(seed: u64, n: usize, sigma: f32) -> (Vec<Vec3>, Vec<Vec3>) {
+        let mut rng = Pcg32::new(seed);
+        let mut truth = Vec::with_capacity(n);
+        let mut noisy = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f32 / 30.0;
+            let p = Vec3::new((t * 0.65).sin() * 0.15, 1.0 + (t * 0.5).cos() * 0.1, 0.02 * t);
+            truth.push(p);
+            noisy.push(p + Vec3::new(rng.normal(), rng.normal(), rng.normal()) * sigma);
+        }
+        (truth, noisy)
+    }
+
+    fn rmse(a: &[Vec3], b: &[Vec3]) -> f32 {
+        (a.iter().zip(b).map(|(x, y)| (*x - *y).length_sq()).sum::<f32>() / a.len() as f32).sqrt()
+    }
+
+    #[test]
+    fn one_euro_reduces_noise() {
+        let (truth, noisy) = noisy_track(1, 300, 0.01);
+        let mut f = OneEuroFilter::new(1.5, 3.0);
+        let filtered: Vec<Vec3> = noisy.iter().map(|&p| f.filter(p, 1.0 / 30.0)).collect();
+        let raw_err = rmse(&noisy[30..].to_vec(), &truth[30..].to_vec());
+        let filt_err = rmse(&filtered[30..].to_vec(), &truth[30..].to_vec());
+        assert!(filt_err < raw_err * 0.9, "raw {raw_err} filtered {filt_err}");
+    }
+
+    #[test]
+    fn one_euro_tracks_fast_motion() {
+        // A step change: the adaptive cutoff must converge quickly.
+        let mut f = OneEuroFilter::new(1.0, 0.5);
+        for _ in 0..30 {
+            f.filter(Vec3::ZERO, 1.0 / 30.0);
+        }
+        let mut last = Vec3::ZERO;
+        for _ in 0..15 {
+            last = f.filter(Vec3::new(1.0, 0.0, 0.0), 1.0 / 30.0);
+        }
+        assert!(last.x > 0.85, "filter lagging: {last:?}");
+    }
+
+    #[test]
+    fn kalman_reduces_noise() {
+        let (truth, noisy) = noisy_track(2, 300, 0.01);
+        let mut f = KalmanFilter3::new(2.0, 0.01);
+        let filtered: Vec<Vec3> = noisy.iter().map(|&p| f.step(p, 1.0 / 30.0)).collect();
+        let raw_err = rmse(&noisy[30..].to_vec(), &truth[30..].to_vec());
+        let filt_err = rmse(&filtered[30..].to_vec(), &truth[30..].to_vec());
+        assert!(filt_err < raw_err * 0.85, "raw {raw_err} filtered {filt_err}");
+    }
+
+    #[test]
+    fn kalman_predicts_constant_velocity() {
+        let mut f = KalmanFilter3::new(0.5, 0.001);
+        // Feed a constant-velocity track.
+        for i in 0..60 {
+            let t = i as f32 / 30.0;
+            f.step(Vec3::new(t * 0.6, 0.0, 0.0), 1.0 / 30.0);
+        }
+        let pred = f.predict(0.1);
+        let expected_x = (59.0 / 30.0) * 0.6 + 0.1 * 0.6;
+        assert!((pred.x - expected_x).abs() < 0.02, "pred {pred:?} vs {expected_x}");
+    }
+
+    #[test]
+    fn first_sample_passes_through() {
+        let mut f = OneEuroFilter::new(1.0, 0.1);
+        let p = Vec3::new(3.0, -1.0, 2.0);
+        assert_eq!(f.filter(p, 1.0 / 30.0), p);
+        let mut k = KalmanFilter3::new(1.0, 0.01);
+        assert_eq!(k.step(p, 1.0 / 30.0), p);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = OneEuroFilter::new(1.0, 0.1);
+        f.filter(Vec3::ZERO, 1.0 / 30.0);
+        f.filter(Vec3::ZERO, 1.0 / 30.0);
+        f.reset();
+        let p = Vec3::new(5.0, 5.0, 5.0);
+        assert_eq!(f.filter(p, 1.0 / 30.0), p);
+    }
+
+    #[test]
+    fn filter_bank_applies_elementwise() {
+        let mut bank: Vec<OneEuroFilter> = (0..3).map(|_| OneEuroFilter::new(1.0, 0.1)).collect();
+        let frame = vec![Vec3::X, Vec3::Y, Vec3::Z];
+        let out = filter_frame(&mut bank, &frame, 1.0 / 30.0);
+        assert_eq!(out, frame); // first samples pass through
+    }
+}

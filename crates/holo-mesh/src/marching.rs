@@ -1,0 +1,348 @@
+//! Isosurface extraction by marching tetrahedra over a dense grid.
+//!
+//! X-Avatar extracts meshes from its implicit geometry network with
+//! marching cubes at a configurable voxel resolution (128–1024 in the
+//! paper's Figs. 2 and 4). We use marching *tetrahedra* — each grid cube is
+//! split into six tetrahedra sharing the cube's main diagonal — which has
+//! identical asymptotics and resolution-scaling behaviour but requires no
+//! large case tables and is straightforward to verify (it produces closed,
+//! consistent surfaces by construction). The substitution is documented in
+//! DESIGN.md; it yields roughly 2x the triangles of classic MC for the
+//! same grid.
+//!
+//! The dense extractor samples the full `(R+1)^3` lattice two z-slices at
+//! a time, so memory is `O(R^2)`. For `R = 1024` prefer
+//! [`crate::sparse::sparse_extract`], which skips empty space entirely.
+
+use crate::sdf::Sdf;
+use crate::trimesh::TriMesh;
+use holo_math::{Aabb, Vec3};
+use std::collections::HashMap;
+
+/// Parameters for isosurface extraction.
+#[derive(Debug, Clone)]
+pub struct MarchingConfig {
+    /// Number of cubes along the longest axis of `bounds`.
+    pub resolution: u32,
+    /// Region to polygonize. The grid is cubical with side
+    /// `bounds.longest_side()` anchored at `bounds.min`.
+    pub bounds: Aabb,
+    /// Isovalue (0 for a standard SDF surface).
+    pub iso: f32,
+}
+
+impl MarchingConfig {
+    /// Config covering an SDF's bounds (slightly padded) at `resolution`.
+    pub fn for_sdf<S: Sdf + ?Sized>(sdf: &S, resolution: u32) -> Self {
+        let b = sdf.bounds();
+        let pad = b.longest_side() * 0.02 + 1e-4;
+        Self { resolution: resolution.max(2), bounds: b.expanded(pad), iso: 0.0 }
+    }
+
+    /// Side length of one grid cube.
+    pub fn cell_size(&self) -> f32 {
+        self.bounds.longest_side() / self.resolution as f32
+    }
+}
+
+/// Counters describing the work an extraction performed; feeds the GPU
+/// cost model that converts workload into modeled device time (Fig. 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractionStats {
+    /// Number of field evaluations performed.
+    pub field_evals: u64,
+    /// Number of grid cubes visited (dense: all; sparse: near-surface).
+    pub cubes_visited: u64,
+    /// Triangles emitted before degenerate removal.
+    pub triangles_emitted: u64,
+}
+
+/// Corner offsets of a unit cube; bit 0 = +x, bit 1 = +y, bit 2 = +z.
+pub(crate) const CUBE_CORNERS: [(u32, u32, u32); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+/// Six tetrahedra sharing the main diagonal (corner 0 to corner 7). Every
+/// cube uses the same split, which makes faces of adjacent cubes agree and
+/// the output surface watertight.
+pub(crate) const CUBE_TETS: [[usize; 4]; 6] = [
+    [0, 5, 1, 7],
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+];
+
+/// Incrementally builds a welded triangle mesh from per-edge surface
+/// vertices keyed by global lattice corner ids.
+pub(crate) struct MeshBuilder {
+    mesh: TriMesh,
+    edge_vertices: HashMap<(u64, u64), u32>,
+    pub stats: ExtractionStats,
+}
+
+impl MeshBuilder {
+    pub fn new() -> Self {
+        Self { mesh: TriMesh::new(), edge_vertices: HashMap::new(), stats: ExtractionStats::default() }
+    }
+
+    fn edge_vertex(&mut self, ka: u64, pa: Vec3, va: f32, kb: u64, pb: Vec3, vb: f32, iso: f32) -> u32 {
+        let key = if ka < kb { (ka, kb) } else { (kb, ka) };
+        if let Some(&idx) = self.edge_vertices.get(&key) {
+            return idx;
+        }
+        let denom = vb - va;
+        let t = if denom.abs() < 1e-12 { 0.5 } else { ((iso - va) / denom).clamp(0.0, 1.0) };
+        let p = pa.lerp(pb, t);
+        let idx = self.mesh.vertices.len() as u32;
+        self.mesh.vertices.push(p);
+        self.edge_vertices.insert(key, idx);
+        idx
+    }
+
+    fn push_triangle(&mut self, ia: u32, ib: u32, ic: u32, outward_hint: Vec3, anchor: Vec3) {
+        if ia == ib || ib == ic || ia == ic {
+            return; // degenerate after welding
+        }
+        let a = self.mesh.vertices[ia as usize];
+        let b = self.mesh.vertices[ib as usize];
+        let c = self.mesh.vertices[ic as usize];
+        let n = (b - a).cross(c - a);
+        // Orient so the normal points from the inside anchor toward outside.
+        let want = ((a + b + c) / 3.0 - anchor) + outward_hint * 0.0;
+        if n.dot(want) >= 0.0 {
+            self.mesh.faces.push([ia, ib, ic]);
+        } else {
+            self.mesh.faces.push([ia, ic, ib]);
+        }
+        self.stats.triangles_emitted += 1;
+    }
+
+    /// Polygonize one tetrahedron given corner lattice keys, positions, and
+    /// field values.
+    pub fn do_tet(&mut self, keys: [u64; 4], pos: [Vec3; 4], val: [f32; 4], iso: f32) {
+        let inside: Vec<usize> = (0..4).filter(|&i| val[i] < iso).collect();
+        match inside.len() {
+            0 | 4 => {}
+            1 => {
+                let a = inside[0];
+                let outs: Vec<usize> = (0..4).filter(|&i| i != a).collect();
+                let v0 = self.edge_vertex(keys[a], pos[a], val[a], keys[outs[0]], pos[outs[0]], val[outs[0]], iso);
+                let v1 = self.edge_vertex(keys[a], pos[a], val[a], keys[outs[1]], pos[outs[1]], val[outs[1]], iso);
+                let v2 = self.edge_vertex(keys[a], pos[a], val[a], keys[outs[2]], pos[outs[2]], val[outs[2]], iso);
+                self.push_triangle(v0, v1, v2, Vec3::ZERO, pos[a]);
+            }
+            3 => {
+                let d = (0..4).find(|i| !inside.contains(i)).unwrap();
+                let ins: Vec<usize> = inside;
+                let v0 = self.edge_vertex(keys[d], pos[d], val[d], keys[ins[0]], pos[ins[0]], val[ins[0]], iso);
+                let v1 = self.edge_vertex(keys[d], pos[d], val[d], keys[ins[1]], pos[ins[1]], val[ins[1]], iso);
+                let v2 = self.edge_vertex(keys[d], pos[d], val[d], keys[ins[2]], pos[ins[2]], val[ins[2]], iso);
+                // Anchor at the centroid of the inside face.
+                let anchor = (pos[ins[0]] + pos[ins[1]] + pos[ins[2]]) / 3.0;
+                self.push_triangle(v0, v1, v2, Vec3::ZERO, anchor);
+            }
+            2 => {
+                let (a, b) = (inside[0], inside[1]);
+                let outs: Vec<usize> = (0..4).filter(|&i| i != a && i != b).collect();
+                let (c, d) = (outs[0], outs[1]);
+                let vac = self.edge_vertex(keys[a], pos[a], val[a], keys[c], pos[c], val[c], iso);
+                let vad = self.edge_vertex(keys[a], pos[a], val[a], keys[d], pos[d], val[d], iso);
+                let vbc = self.edge_vertex(keys[b], pos[b], val[b], keys[c], pos[c], val[c], iso);
+                let vbd = self.edge_vertex(keys[b], pos[b], val[b], keys[d], pos[d], val[d], iso);
+                let anchor = (pos[a] + pos[b]) * 0.5;
+                self.push_triangle(vac, vad, vbd, Vec3::ZERO, anchor);
+                self.push_triangle(vac, vbd, vbc, Vec3::ZERO, anchor);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn finish(mut self) -> (TriMesh, ExtractionStats) {
+        self.mesh.compute_normals();
+        (self.mesh, self.stats)
+    }
+}
+
+/// Pack lattice coordinates into a unique 64-bit corner id.
+#[inline]
+pub(crate) fn corner_key(x: u32, y: u32, z: u32) -> u64 {
+    ((x as u64) << 42) | ((y as u64) << 21) | z as u64
+}
+
+/// Extract the isosurface of `sdf` on a dense grid. Returns the welded
+/// triangle mesh with computed normals.
+pub fn marching_tetrahedra<S: Sdf + ?Sized>(sdf: &S, cfg: &MarchingConfig) -> TriMesh {
+    marching_tetrahedra_with_stats(sdf, cfg).0
+}
+
+/// Like [`marching_tetrahedra`] but also returns workload counters.
+pub fn marching_tetrahedra_with_stats<S: Sdf + ?Sized>(
+    sdf: &S,
+    cfg: &MarchingConfig,
+) -> (TriMesh, ExtractionStats) {
+    let r = cfg.resolution;
+    let n = (r + 1) as usize;
+    let cell = cfg.cell_size();
+    let origin = cfg.bounds.min;
+    let mut builder = MeshBuilder::new();
+
+    let sample_slice = |z: u32, builder: &mut MeshBuilder| -> Vec<f32> {
+        let mut slice = Vec::with_capacity(n * n);
+        for y in 0..n as u32 {
+            for x in 0..n as u32 {
+                let p = origin + Vec3::new(x as f32, y as f32, z as f32) * cell;
+                slice.push(sdf.distance(p));
+                builder.stats.field_evals += 1;
+            }
+        }
+        slice
+    };
+
+    let mut below = sample_slice(0, &mut builder);
+    for z in 0..r {
+        let above = sample_slice(z + 1, &mut builder);
+        for y in 0..r {
+            for x in 0..r {
+                builder.stats.cubes_visited += 1;
+                let mut keys = [0u64; 8];
+                let mut pos = [Vec3::ZERO; 8];
+                let mut val = [0f32; 8];
+                let mut all_pos = true;
+                let mut all_neg = true;
+                for (ci, &(dx, dy, dz)) in CUBE_CORNERS.iter().enumerate() {
+                    let (cx, cy, cz) = (x + dx, y + dy, z + dz);
+                    keys[ci] = corner_key(cx, cy, cz);
+                    pos[ci] = origin + Vec3::new(cx as f32, cy as f32, cz as f32) * cell;
+                    let slice = if dz == 0 { &below } else { &above };
+                    let v = slice[(cy as usize) * n + cx as usize];
+                    val[ci] = v;
+                    if v < cfg.iso {
+                        all_pos = false;
+                    } else {
+                        all_neg = false;
+                    }
+                }
+                if all_pos || all_neg {
+                    continue;
+                }
+                for tet in &CUBE_TETS {
+                    builder.do_tet(
+                        [keys[tet[0]], keys[tet[1]], keys[tet[2]], keys[tet[3]]],
+                        [pos[tet[0]], pos[tet[1]], pos[tet[2]], pos[tet[3]]],
+                        [val[tet[0]], val[tet[1]], val[tet[2]], val[tet[3]]],
+                        cfg.iso,
+                    );
+                }
+            }
+        }
+        below = above;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdf::{SdfCapsule, SdfSphere};
+
+    #[test]
+    fn sphere_surface_extracted() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 1.0 };
+        let cfg = MarchingConfig::for_sdf(&s, 32);
+        let (mesh, stats) = marching_tetrahedra_with_stats(&s, &cfg);
+        assert!(mesh.face_count() > 500);
+        assert!(mesh.validate().is_ok());
+        assert!(stats.field_evals > 0);
+        // Every vertex close to the unit sphere.
+        for v in &mesh.vertices {
+            let r = v.length();
+            assert!((0.9..=1.1).contains(&r), "vertex radius {r}");
+        }
+    }
+
+    #[test]
+    fn sphere_mesh_is_watertight() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 0.8 };
+        let cfg = MarchingConfig::for_sdf(&s, 24);
+        let mesh = marching_tetrahedra(&s, &cfg);
+        assert!(mesh.is_closed(), "marching tetrahedra surface must be closed");
+        assert_eq!(mesh.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn area_converges_with_resolution() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 1.0 };
+        let analytic = 4.0 * std::f32::consts::PI;
+        let area = |res: u32| {
+            let cfg = MarchingConfig::for_sdf(&s, res);
+            marching_tetrahedra(&s, &cfg).surface_area()
+        };
+        let coarse_err = (area(12) - analytic).abs();
+        let fine_err = (area(48) - analytic).abs();
+        assert!(fine_err < coarse_err, "error should shrink with resolution");
+        assert!(fine_err / analytic < 0.05);
+    }
+
+    #[test]
+    fn normals_outward() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 1.0 };
+        let cfg = MarchingConfig::for_sdf(&s, 24);
+        let mesh = marching_tetrahedra(&s, &cfg);
+        let mut outward = 0usize;
+        for i in 0..mesh.face_count() {
+            let [a, b, c] = mesh.face_positions(i);
+            let centroid = (a + b + c) / 3.0;
+            if mesh.face_normal(i).dot(centroid.normalized()) > 0.0 {
+                outward += 1;
+            }
+        }
+        assert!(
+            outward as f32 / mesh.face_count() as f32 > 0.99,
+            "only {outward}/{} faces outward",
+            mesh.face_count()
+        );
+    }
+
+    #[test]
+    fn capsule_topology_is_sphere_like() {
+        let c = SdfCapsule { a: Vec3::ZERO, b: Vec3::new(0.0, 1.5, 0.0), radius: 0.4 };
+        let cfg = MarchingConfig::for_sdf(&c, 32);
+        let mesh = marching_tetrahedra(&c, &cfg);
+        assert!(mesh.is_closed());
+        assert_eq!(mesh.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn empty_field_produces_empty_mesh() {
+        // Sphere entirely outside the polygonized region.
+        let s = SdfSphere { center: Vec3::splat(100.0), radius: 0.5 };
+        let cfg = MarchingConfig {
+            resolution: 8,
+            bounds: Aabb::new(Vec3::ZERO, Vec3::ONE),
+            iso: 0.0,
+        };
+        let mesh = marching_tetrahedra(&s, &cfg);
+        assert_eq!(mesh.face_count(), 0);
+    }
+
+    #[test]
+    fn triangle_count_scales_quadratically() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 1.0 };
+        let count = |res: u32| {
+            let cfg = MarchingConfig::for_sdf(&s, res);
+            marching_tetrahedra(&s, &cfg).face_count() as f32
+        };
+        let ratio = count(32) / count(16);
+        // Surface cells scale with R^2; allow generous tolerance.
+        assert!((2.5..6.0).contains(&ratio), "scaling ratio {ratio}");
+    }
+}

@@ -1,0 +1,522 @@
+//! Signed distance fields.
+//!
+//! X-Avatar represents the human body as an implicit surface decoded by a
+//! neural network; our substitute models the body as an analytic SDF built
+//! from skeleton-driven primitives (capsules for limbs, rounded cones for
+//! tapering segments, ellipsoids for head/torso) blended with smooth CSG.
+//! The isosurface extractors in [`crate::marching`] and [`crate::sparse`]
+//! consume any [`Sdf`].
+
+use holo_math::{Aabb, Vec3};
+
+/// A signed distance field: negative inside, positive outside, zero on the
+/// surface. Implementations should be exact or conservative (a lower bound
+/// on true distance) so sphere tracing terminates correctly.
+pub trait Sdf: Sync {
+    /// Signed distance at `p`.
+    fn distance(&self, p: Vec3) -> f32;
+
+    /// A bounding box guaranteed to contain the zero level set.
+    fn bounds(&self) -> Aabb;
+
+    /// Surface normal by central differences.
+    fn normal(&self, p: Vec3, eps: f32) -> Vec3 {
+        let dx = self.distance(p + Vec3::new(eps, 0.0, 0.0)) - self.distance(p - Vec3::new(eps, 0.0, 0.0));
+        let dy = self.distance(p + Vec3::new(0.0, eps, 0.0)) - self.distance(p - Vec3::new(0.0, eps, 0.0));
+        let dz = self.distance(p + Vec3::new(0.0, 0.0, eps)) - self.distance(p - Vec3::new(0.0, 0.0, eps));
+        Vec3::new(dx, dy, dz).normalized()
+    }
+}
+
+/// Sphere primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct SdfSphere {
+    pub center: Vec3,
+    pub radius: f32,
+}
+
+impl Sdf for SdfSphere {
+    fn distance(&self, p: Vec3) -> f32 {
+        (p - self.center).length() - self.radius
+    }
+
+    fn bounds(&self) -> Aabb {
+        Aabb::new(self.center - Vec3::splat(self.radius), self.center + Vec3::splat(self.radius))
+    }
+}
+
+/// Capsule primitive: the set of points within `radius` of segment `a`-`b`.
+#[derive(Debug, Clone, Copy)]
+pub struct SdfCapsule {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub radius: f32,
+}
+
+impl Sdf for SdfCapsule {
+    fn distance(&self, p: Vec3) -> f32 {
+        let pa = p - self.a;
+        let ba = self.b - self.a;
+        let denom = ba.dot(ba).max(1e-12);
+        let h = (pa.dot(ba) / denom).clamp(0.0, 1.0);
+        (pa - ba * h).length() - self.radius
+    }
+
+    fn bounds(&self) -> Aabb {
+        let mut b = Aabb::from_points(&[self.a, self.b]);
+        b = b.expanded(self.radius);
+        b
+    }
+}
+
+/// Rounded cone: a capsule whose radius tapers linearly from `ra` at `a`
+/// to `rb` at `b`. Used for tapering limb segments (forearms, fingers).
+#[derive(Debug, Clone, Copy)]
+pub struct SdfRoundCone {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub ra: f32,
+    pub rb: f32,
+}
+
+impl Sdf for SdfRoundCone {
+    fn distance(&self, p: Vec3) -> f32 {
+        // Inigo Quilez's exact round cone distance.
+        let ba = self.b - self.a;
+        let l2 = ba.dot(ba);
+        let rr = self.ra - self.rb;
+        let a2 = l2 - rr * rr;
+        if a2 <= 0.0 || l2 < 1e-12 {
+            // Degenerate: one sphere contains the other; fall back to the
+            // union of the two end spheres.
+            let d1 = (p - self.a).length() - self.ra;
+            let d2 = (p - self.b).length() - self.rb;
+            return d1.min(d2);
+        }
+        let il2 = 1.0 / l2;
+        let pa = p - self.a;
+        let y = pa.dot(ba);
+        let z = y - l2;
+        let x2 = (pa * l2 - ba * y).length_sq();
+        let y2 = y * y * l2;
+        let z2 = z * z * l2;
+        let k = rr.signum() * rr * rr * x2;
+        if z.signum() * a2 * z2 > k {
+            return (x2 + z2).sqrt() * il2 - self.rb;
+        }
+        if y.signum() * a2 * y2 < k {
+            return (x2 + y2).sqrt() * il2 - self.ra;
+        }
+        ((x2 * a2 * il2).sqrt() + y * rr) * il2 - self.ra
+    }
+
+    fn bounds(&self) -> Aabb {
+        let r = self.ra.max(self.rb);
+        Aabb::from_points(&[self.a, self.b]).expanded(r)
+    }
+}
+
+/// Axis-aligned ellipsoid (approximate but conservative distance bound).
+#[derive(Debug, Clone, Copy)]
+pub struct SdfEllipsoid {
+    pub center: Vec3,
+    pub radii: Vec3,
+}
+
+impl Sdf for SdfEllipsoid {
+    fn distance(&self, p: Vec3) -> f32 {
+        // IQ's ellipsoid bound: exact sign, conservative magnitude.
+        let q = p - self.center;
+        let k0 = Vec3::new(q.x / self.radii.x, q.y / self.radii.y, q.z / self.radii.z).length();
+        let k1 = Vec3::new(
+            q.x / (self.radii.x * self.radii.x),
+            q.y / (self.radii.y * self.radii.y),
+            q.z / (self.radii.z * self.radii.z),
+        )
+        .length();
+        if k1 < 1e-12 {
+            return -self.radii.x.min(self.radii.y).min(self.radii.z);
+        }
+        k0 * (k0 - 1.0) / k1
+    }
+
+    fn bounds(&self) -> Aabb {
+        Aabb::new(self.center - self.radii, self.center + self.radii)
+    }
+}
+
+/// Smooth minimum (polynomial) used for organic blends between body parts.
+#[inline]
+pub fn smooth_min(a: f32, b: f32, k: f32) -> f32 {
+    if k <= 0.0 {
+        return a.min(b);
+    }
+    let h = (k - (a - b).abs()).max(0.0) / k;
+    a.min(b) - h * h * k * 0.25
+}
+
+/// A smooth union of boxed SDF parts — the body model's aggregate shape.
+pub struct SdfUnion {
+    parts: Vec<Box<dyn Sdf + Send>>,
+    /// Smoothing radius for the blend; 0 gives a hard union.
+    pub smoothness: f32,
+    cached_bounds: Aabb,
+}
+
+impl SdfUnion {
+    /// Create an empty union with the given blend radius.
+    pub fn new(smoothness: f32) -> Self {
+        Self { parts: Vec::new(), smoothness, cached_bounds: Aabb::EMPTY }
+    }
+
+    /// Add a part.
+    pub fn push(&mut self, part: Box<dyn Sdf + Send>) {
+        self.cached_bounds.merge(&part.bounds());
+        self.parts.push(part);
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when no parts have been added.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl Sdf for SdfUnion {
+    fn distance(&self, p: Vec3) -> f32 {
+        let mut d = f32::INFINITY;
+        for part in &self.parts {
+            d = smooth_min(d, part.distance(p), self.smoothness);
+        }
+        d
+    }
+
+    fn bounds(&self) -> Aabb {
+        // Smooth blending can bulge the surface slightly outward.
+        self.cached_bounds.expanded(self.smoothness)
+    }
+}
+
+/// A spatially accelerated smooth union: parts are bucketed into a coarse
+/// grid so evaluation touches only nearby parts instead of all of them.
+///
+/// A body SDF has ~80 primitive parts; naive union evaluation makes
+/// resolution-1024 extraction (Figs. 2/4) minutes of CPU. The grid keeps
+/// per-cell part lists within a `margin`; queries farther than the margin
+/// from every listed part return a *conservative underestimate* (the
+/// margin, or the distance to the content bounds), which preserves
+/// correctness for both sphere tracing and octree pruning.
+pub struct GriddedUnion {
+    parts: Vec<Box<dyn Sdf + Send>>,
+    /// Blend radius.
+    pub smoothness: f32,
+    bounds: Aabb,
+    dims: u32,
+    cells: Vec<Vec<u16>>,
+    margin: f32,
+}
+
+impl GriddedUnion {
+    /// Build from parts with the given blend radius; `dims` grid cells
+    /// per axis and `margin` meters of part-listing slack.
+    pub fn build(parts: Vec<Box<dyn Sdf + Send>>, smoothness: f32, dims: u32, margin: f32) -> Self {
+        let mut bounds = Aabb::EMPTY;
+        for p in &parts {
+            bounds.merge(&p.bounds());
+        }
+        if bounds.is_empty() {
+            bounds = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        }
+        let dims = dims.clamp(1, 64);
+        let mut cells = vec![Vec::new(); (dims as usize).pow(3)];
+        let size = bounds.size();
+        let cell_size = size / dims as f32;
+        for (pi, part) in parts.iter().enumerate() {
+            let pb = part.bounds().expanded(margin);
+            // Cell index range overlapped by the padded part box.
+            let lo = (pb.min - bounds.min).mul_elem(Vec3::new(
+                1.0 / cell_size.x.max(1e-9),
+                1.0 / cell_size.y.max(1e-9),
+                1.0 / cell_size.z.max(1e-9),
+            ));
+            let hi = (pb.max - bounds.min).mul_elem(Vec3::new(
+                1.0 / cell_size.x.max(1e-9),
+                1.0 / cell_size.y.max(1e-9),
+                1.0 / cell_size.z.max(1e-9),
+            ));
+            let clamp_idx = |v: f32| (v.floor().max(0.0) as u32).min(dims - 1);
+            for z in clamp_idx(lo.z)..=clamp_idx(hi.z) {
+                for y in clamp_idx(lo.y)..=clamp_idx(hi.y) {
+                    for x in clamp_idx(lo.x)..=clamp_idx(hi.x) {
+                        cells[((z * dims + y) * dims + x) as usize].push(pi as u16);
+                    }
+                }
+            }
+        }
+        Self { parts, smoothness, bounds, dims, cells, margin }
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when no parts were provided.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl Sdf for GriddedUnion {
+    fn distance(&self, p: Vec3) -> f32 {
+        // Outside the content box: distance to the box is a safe
+        // underestimate of the distance to any part.
+        let outside = self.bounds.signed_distance(p);
+        if outside > 0.0 {
+            return outside;
+        }
+        let size = self.bounds.size();
+        let rel = p - self.bounds.min;
+        let idx = |r: f32, s: f32| (((r / s.max(1e-9)) * self.dims as f32) as u32).min(self.dims - 1);
+        let (x, y, z) = (idx(rel.x, size.x), idx(rel.y, size.y), idx(rel.z, size.z));
+        let cell = &self.cells[((z * self.dims + y) * self.dims + x) as usize];
+        // The margin minus the blend bulge bounds unlisted parts' reach.
+        let cap = self.margin - self.smoothness;
+        let mut d = f32::INFINITY;
+        for &pi in cell {
+            d = smooth_min(d, self.parts[pi as usize].distance(p), self.smoothness);
+        }
+        d.min(cap)
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.bounds.expanded(self.smoothness)
+    }
+}
+
+/// An SDF displaced by a bounded high-frequency function, modeling surface
+/// detail that keypoints cannot carry (cloth folds — the detail Fig. 2's
+/// keypoint reconstructions lose).
+pub struct SdfDisplaced<S: Sdf> {
+    pub base: S,
+    /// Displacement amplitude in meters.
+    pub amplitude: f32,
+    /// Spatial frequency of the displacement in cycles per meter.
+    pub frequency: f32,
+}
+
+impl<S: Sdf> Sdf for SdfDisplaced<S> {
+    fn distance(&self, p: Vec3) -> f32 {
+        let d = self.base.distance(p);
+        // Only displace near the surface so far-field distances stay valid.
+        if d.abs() > self.amplitude * 4.0 {
+            return d;
+        }
+        let w = self.frequency * std::f32::consts::TAU;
+        let disp = (p.x * w).sin() * (p.y * w * 0.83).sin() * (p.z * w * 1.19).sin();
+        d + disp * self.amplitude
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.base.bounds().expanded(self.amplitude)
+    }
+}
+
+/// Blanket impl so `&S` and boxed SDFs work wherever an `Sdf` is expected.
+impl<S: Sdf + ?Sized> Sdf for &S {
+    fn distance(&self, p: Vec3) -> f32 {
+        (**self).distance(p)
+    }
+
+    fn bounds(&self) -> Aabb {
+        (**self).bounds()
+    }
+}
+
+impl Sdf for Box<dyn Sdf + Send> {
+    fn distance(&self, p: Vec3) -> f32 {
+        (**self).distance(p)
+    }
+
+    fn bounds(&self) -> Aabb {
+        (**self).bounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_math::{approx_eq, Pcg32};
+
+    #[test]
+    fn sphere_distance_exact() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 2.0 };
+        assert!(approx_eq(s.distance(Vec3::new(5.0, 0.0, 0.0)), 3.0, 1e-6));
+        assert!(approx_eq(s.distance(Vec3::ZERO), -2.0, 1e-6));
+        assert!(approx_eq(s.distance(Vec3::new(0.0, 2.0, 0.0)), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn capsule_distance_on_axis_and_side() {
+        let c = SdfCapsule { a: Vec3::ZERO, b: Vec3::new(0.0, 2.0, 0.0), radius: 0.5 };
+        // Beyond the end cap.
+        assert!(approx_eq(c.distance(Vec3::new(0.0, 3.0, 0.0)), 0.5, 1e-6));
+        // Beside the shaft.
+        assert!(approx_eq(c.distance(Vec3::new(1.5, 1.0, 0.0)), 1.0, 1e-6));
+        // Inside.
+        assert!(c.distance(Vec3::new(0.0, 1.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn round_cone_matches_sphere_at_ends() {
+        let rc = SdfRoundCone { a: Vec3::ZERO, b: Vec3::new(0.0, 2.0, 0.0), ra: 0.5, rb: 0.2 };
+        // Far below a: behaves like the a-sphere.
+        assert!(approx_eq(rc.distance(Vec3::new(0.0, -2.0, 0.0)), 1.5, 1e-4));
+        // Far above b: behaves like the b-sphere.
+        assert!(approx_eq(rc.distance(Vec3::new(0.0, 4.0, 0.0)), 1.8, 1e-4));
+        // Inside the thick end.
+        assert!(rc.distance(Vec3::ZERO) < 0.0);
+    }
+
+    #[test]
+    fn round_cone_zero_level_between_radii() {
+        let rc = SdfRoundCone { a: Vec3::ZERO, b: Vec3::new(0.0, 2.0, 0.0), ra: 0.5, rb: 0.2 };
+        // At mid-height the lateral surface radius is between rb and ra.
+        let mut lo = 0.0f32;
+        let mut hi = 2.0f32;
+        for _ in 0..40 {
+            let mid = (lo + hi) * 0.5;
+            if rc.distance(Vec3::new(mid, 1.0, 0.0)) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        assert!((0.2..=0.5).contains(&lo), "surface radius {lo}");
+    }
+
+    #[test]
+    fn ellipsoid_sign_correct() {
+        let e = SdfEllipsoid { center: Vec3::ZERO, radii: Vec3::new(2.0, 1.0, 0.5) };
+        assert!(e.distance(Vec3::ZERO) < 0.0);
+        assert!(e.distance(Vec3::new(3.0, 0.0, 0.0)) > 0.0);
+        assert!(approx_eq(e.distance(Vec3::new(2.0, 0.0, 0.0)), 0.0, 1e-4));
+        assert!(approx_eq(e.distance(Vec3::new(0.0, 0.0, 0.5)), 0.0, 1e-4));
+    }
+
+    #[test]
+    fn smooth_min_bounded_by_hard_min() {
+        let mut rng = Pcg32::new(1);
+        for _ in 0..1000 {
+            let a = rng.range_f32(-2.0, 2.0);
+            let b = rng.range_f32(-2.0, 2.0);
+            let s = smooth_min(a, b, 0.3);
+            assert!(s <= a.min(b) + 1e-6);
+            assert!(s >= a.min(b) - 0.3 * 0.25 - 1e-6);
+        }
+        assert_eq!(smooth_min(1.0, 2.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn union_contains_all_parts() {
+        let mut u = SdfUnion::new(0.05);
+        u.push(Box::new(SdfSphere { center: Vec3::ZERO, radius: 1.0 }));
+        u.push(Box::new(SdfSphere { center: Vec3::new(3.0, 0.0, 0.0), radius: 0.5 }));
+        assert_eq!(u.len(), 2);
+        assert!(u.distance(Vec3::ZERO) < 0.0);
+        assert!(u.distance(Vec3::new(3.0, 0.0, 0.0)) < 0.0);
+        assert!(u.distance(Vec3::new(1.8, 0.0, 0.0)) > 0.0);
+        let b = u.bounds();
+        assert!(b.contains(Vec3::new(3.4, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn normals_point_away_from_sphere_center() {
+        let s = SdfSphere { center: Vec3::ZERO, radius: 1.0 };
+        let p = Vec3::new(0.8, 0.6, 0.0); // on the surface
+        let n = s.normal(p, 1e-3);
+        assert!(n.dot(p.normalized()) > 0.999);
+    }
+
+    #[test]
+    fn gridded_union_matches_plain_union_near_surface() {
+        let make_parts = || -> Vec<Box<dyn Sdf + Send>> {
+            let mut parts: Vec<Box<dyn Sdf + Send>> = Vec::new();
+            for i in 0..20 {
+                let t = i as f32 * 0.31;
+                parts.push(Box::new(SdfSphere {
+                    center: Vec3::new(t.sin() * 0.8, 1.0 + (t * 1.7).cos() * 0.6, (t * 0.9).sin() * 0.4),
+                    radius: 0.15,
+                }));
+            }
+            parts
+        };
+        let mut plain = SdfUnion::new(0.02);
+        for p in make_parts() {
+            plain.push(p);
+        }
+        let grid = GriddedUnion::build(make_parts(), 0.02, 16, 0.3);
+        let mut rng = Pcg32::new(3);
+        let content = {
+            let mut b = holo_math::Aabb::EMPTY;
+            for p in make_parts() {
+                b.merge(&p.bounds());
+            }
+            b
+        };
+        for _ in 0..3000 {
+            let p = Vec3::new(rng.range_f32(-1.2, 1.2), rng.range_f32(-0.2, 2.0), rng.range_f32(-1.0, 1.0));
+            let dp = plain.distance(p);
+            let dg = grid.distance(p);
+            if content.contains(p) && dp < 0.2 {
+                // Exact inside the content box within the margin band.
+                assert!((dp - dg).abs() < 1e-5, "mismatch at {p:?}: plain {dp} grid {dg}");
+            } else {
+                // Elsewhere: conservative underestimate, never larger,
+                // never flipping sign to negative.
+                assert!(dg <= dp + 1e-5, "overestimate at {p:?}: plain {dp} grid {dg}");
+                if dp > 0.0 {
+                    assert!(dg >= 0.0, "sign flip at {p:?}: plain {dp} grid {dg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gridded_union_extraction_identical_surface() {
+        let parts = |off: f32| -> Vec<Box<dyn Sdf + Send>> {
+            vec![
+                Box::new(SdfSphere { center: Vec3::new(off, 0.0, 0.0), radius: 0.5 }),
+                Box::new(SdfSphere { center: Vec3::new(-off, 0.0, 0.0), radius: 0.5 }),
+            ]
+        };
+        let grid = GriddedUnion::build(parts(0.3), 0.02, 12, 0.3);
+        let mesh = crate::sparse::sparse_extract(&grid, 48, 0.05);
+        assert!(mesh.is_closed());
+        assert!(mesh.face_count() > 1000);
+    }
+
+    #[test]
+    fn gridded_union_empty_is_safe() {
+        let grid = GriddedUnion::build(Vec::new(), 0.02, 8, 0.3);
+        assert!(grid.is_empty());
+        assert!(grid.distance(Vec3::ZERO) > -1.0);
+    }
+
+    #[test]
+    fn displacement_stays_within_amplitude() {
+        let base = SdfSphere { center: Vec3::ZERO, radius: 1.0 };
+        let disp = SdfDisplaced { base, amplitude: 0.02, frequency: 8.0 };
+        let mut rng = Pcg32::new(2);
+        for _ in 0..500 {
+            let dir = Vec3::new(rng.normal(), rng.normal(), rng.normal()).normalized();
+            let p = dir * 1.0;
+            let d = disp.distance(p);
+            assert!(d.abs() <= 0.021, "displaced distance {d} at surface");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Mesh simplification by vertex clustering.
+//!
+//! The foveated pipeline (§3.1) and any level-of-detail scheme need a way
+//! to cheapen peripheral geometry. Vertex clustering snaps vertices to a
+//! uniform grid and collapses everything inside a cell to its mean —
+//! O(V + F), deterministic, and bounded-error (half a cell diagonal),
+//! which is exactly the profile a per-frame live system can afford
+//! (quadric simplification is higher quality but super-linear).
+
+use crate::trimesh::TriMesh;
+use holo_math::Vec3;
+use std::collections::HashMap;
+
+/// Simplify by clustering vertices onto a grid with `cells` cells along
+/// the longest bounding-box axis. Degenerate faces (two or more corners
+/// in one cell) are dropped. Returns a new mesh with computed normals.
+pub fn simplify_cluster(mesh: &TriMesh, cells: u32) -> TriMesh {
+    let cells = cells.max(2);
+    if mesh.vertices.is_empty() {
+        return TriMesh::new();
+    }
+    let bounds = mesh.bounds();
+    let cell = bounds.longest_side().max(1e-9) / cells as f32;
+    let key = |v: Vec3| {
+        (
+            ((v.x - bounds.min.x) / cell).floor() as i32,
+            ((v.y - bounds.min.y) / cell).floor() as i32,
+            ((v.z - bounds.min.z) / cell).floor() as i32,
+        )
+    };
+    // Accumulate cluster means.
+    let mut clusters: HashMap<(i32, i32, i32), (Vec3, u32, u32)> = HashMap::new();
+    let mut vertex_cluster = Vec::with_capacity(mesh.vertices.len());
+    for &v in &mesh.vertices {
+        let k = key(v);
+        let next_id = clusters.len() as u32;
+        let entry = clusters.entry(k).or_insert((Vec3::ZERO, 0, next_id));
+        entry.0 += v;
+        entry.1 += 1;
+        vertex_cluster.push(entry.2);
+    }
+    let mut out = TriMesh::new();
+    // Cluster id -> output vertex index, in id order (deterministic).
+    let mut by_id: Vec<(u32, Vec3)> = clusters
+        .into_values()
+        .map(|(sum, n, id)| (id, sum / n as f32))
+        .collect();
+    by_id.sort_by_key(|(id, _)| *id);
+    out.vertices = by_id.into_iter().map(|(_, p)| p).collect();
+    for f in &mesh.faces {
+        let a = vertex_cluster[f[0] as usize];
+        let b = vertex_cluster[f[1] as usize];
+        let c = vertex_cluster[f[2] as usize];
+        if a != b && b != c && a != c {
+            out.faces.push([a, b, c]);
+        }
+    }
+    out.compute_normals();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::compare_meshes;
+
+    fn dense_sphere() -> TriMesh {
+        TriMesh::uv_sphere(Vec3::ZERO, 1.0, 32, 64)
+    }
+
+    #[test]
+    fn reduces_face_count_substantially() {
+        let m = dense_sphere();
+        let s = simplify_cluster(&m, 12);
+        assert!(s.face_count() * 4 < m.face_count(), "{} -> {}", m.face_count(), s.face_count());
+        assert!(s.face_count() > 50);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn error_bounded_by_cell_size() {
+        let m = dense_sphere();
+        let cells = 16u32;
+        let s = simplify_cluster(&m, cells);
+        let cell = m.bounds().longest_side() / cells as f32;
+        // Every simplified vertex within a cell diagonal of the sphere.
+        for v in &s.vertices {
+            let err = (v.length() - 1.0).abs();
+            assert!(err < cell * 0.9, "vertex error {err} vs cell {cell}");
+        }
+        let q = compare_meshes(&m, &s, 2000, 0.05, 1);
+        assert!(q.chamfer < cell, "chamfer {} vs cell {cell}", q.chamfer);
+    }
+
+    #[test]
+    fn finer_grid_better_quality() {
+        let m = dense_sphere();
+        let coarse = compare_meshes(&m, &simplify_cluster(&m, 6), 2000, 0.05, 2).chamfer;
+        let fine = compare_meshes(&m, &simplify_cluster(&m, 24), 2000, 0.05, 2).chamfer;
+        assert!(fine < coarse, "coarse {coarse} fine {fine}");
+    }
+
+    #[test]
+    fn already_coarse_mesh_survives() {
+        let m = TriMesh::uv_sphere(Vec3::ZERO, 1.0, 4, 6);
+        let s = simplify_cluster(&m, 64);
+        // Grid finer than the mesh: nothing collapses.
+        assert_eq!(s.face_count(), m.face_count());
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let s = simplify_cluster(&TriMesh::new(), 8);
+        assert_eq!(s.vertex_count(), 0);
+        assert_eq!(s.face_count(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = dense_sphere();
+        let a = simplify_cluster(&m, 10);
+        let b = simplify_cluster(&m, 10);
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.faces, b.faces);
+    }
+}

@@ -1,0 +1,143 @@
+//! Occupancy voxelization.
+//!
+//! Used by the text-semantics cell partitioner and by the GPU memory model
+//! (a dense voxel grid at resolution `R` is what exhausts the RTX 3080's
+//! VRAM at `R >= 512` in Fig. 4).
+
+use holo_math::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A dense boolean occupancy grid over an axis-aligned region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VoxelGrid {
+    /// Grid dimensions (nx, ny, nz).
+    pub dims: (u32, u32, u32),
+    /// Region covered.
+    pub bounds: Aabb,
+    bits: Vec<u64>,
+}
+
+impl VoxelGrid {
+    /// An all-empty grid.
+    pub fn new(bounds: Aabb, dims: (u32, u32, u32)) -> Self {
+        let n = dims.0 as usize * dims.1 as usize * dims.2 as usize;
+        Self { dims, bounds, bits: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Voxelize a point set: a voxel is occupied when any point falls in it.
+    pub fn from_points(points: &[Vec3], resolution: u32) -> Self {
+        let bounds = Aabb::from_points(points).expanded(1e-5);
+        let mut g = Self::new(bounds, (resolution, resolution, resolution));
+        for &p in points {
+            if let Some(idx) = g.voxel_of(p) {
+                g.set(idx, true);
+            }
+        }
+        g
+    }
+
+    fn linear(&self, (x, y, z): (u32, u32, u32)) -> usize {
+        (z as usize * self.dims.1 as usize + y as usize) * self.dims.0 as usize + x as usize
+    }
+
+    /// Voxel coordinates containing point `p`, if inside the bounds.
+    pub fn voxel_of(&self, p: Vec3) -> Option<(u32, u32, u32)> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let s = self.bounds.size();
+        let rel = p - self.bounds.min;
+        let f = |r: f32, s: f32, n: u32| (((r / s.max(1e-12)) * n as f32) as u32).min(n - 1);
+        Some((f(rel.x, s.x, self.dims.0), f(rel.y, s.y, self.dims.1), f(rel.z, s.z, self.dims.2)))
+    }
+
+    /// Set a voxel's occupancy.
+    pub fn set(&mut self, v: (u32, u32, u32), occupied: bool) {
+        let i = self.linear(v);
+        if occupied {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Read a voxel's occupancy.
+    pub fn get(&self, v: (u32, u32, u32)) -> bool {
+        let i = self.linear(v);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of occupied voxels.
+    pub fn occupied_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Center point of voxel `v`.
+    pub fn voxel_center(&self, v: (u32, u32, u32)) -> Vec3 {
+        let s = self.bounds.size();
+        self.bounds.min
+            + Vec3::new(
+                (v.0 as f32 + 0.5) / self.dims.0 as f32 * s.x,
+                (v.1 as f32 + 0.5) / self.dims.1 as f32 * s.y,
+                (v.2 as f32 + 0.5) / self.dims.2 as f32 * s.z,
+            )
+    }
+
+    /// Memory a dense `f32` field of these dimensions would occupy, in
+    /// bytes — the figure the GPU VRAM model charges for grid evaluation.
+    pub fn dense_field_bytes(&self) -> u64 {
+        self.dims.0 as u64 * self.dims.1 as u64 * self.dims.2 as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_math::Pcg32;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g = VoxelGrid::new(Aabb::new(Vec3::ZERO, Vec3::ONE), (8, 8, 8));
+        assert!(!g.get((3, 4, 5)));
+        g.set((3, 4, 5), true);
+        assert!(g.get((3, 4, 5)));
+        assert_eq!(g.occupied_count(), 1);
+        g.set((3, 4, 5), false);
+        assert_eq!(g.occupied_count(), 0);
+    }
+
+    #[test]
+    fn from_points_covers_inputs() {
+        let mut rng = Pcg32::new(1);
+        let pts: Vec<Vec3> = (0..500)
+            .map(|_| Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
+            .collect();
+        let g = VoxelGrid::from_points(&pts, 16);
+        for &p in &pts {
+            let v = g.voxel_of(p).expect("point inside bounds");
+            assert!(g.get(v), "voxel containing {p:?} not set");
+        }
+        assert!(g.occupied_count() <= 16 * 16 * 16);
+    }
+
+    #[test]
+    fn voxel_center_inside_voxel() {
+        let g = VoxelGrid::new(Aabb::new(Vec3::ZERO, Vec3::splat(2.0)), (4, 4, 4));
+        let c = g.voxel_center((0, 0, 0));
+        assert_eq!(g.voxel_of(c), Some((0, 0, 0)));
+        let c2 = g.voxel_center((3, 3, 3));
+        assert_eq!(g.voxel_of(c2), Some((3, 3, 3)));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let g = VoxelGrid::new(Aabb::new(Vec3::ZERO, Vec3::ONE), (4, 4, 4));
+        assert!(g.voxel_of(Vec3::splat(2.0)).is_none());
+    }
+
+    #[test]
+    fn dense_field_bytes_formula() {
+        let g = VoxelGrid::new(Aabb::new(Vec3::ZERO, Vec3::ONE), (512, 512, 512));
+        assert_eq!(g.dense_field_bytes(), 512u64 * 512 * 512 * 4);
+    }
+}

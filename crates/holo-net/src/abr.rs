@@ -1,0 +1,176 @@
+//! Rate adaptation: the resolution ladder controller of §3.2.
+//!
+//! Image-based semantics streams multiple camera views whose resolution
+//! (and therefore bitrate, and therefore NeRF sub-network width) must
+//! track available bandwidth. The controller picks the highest ladder
+//! rung whose bitrate fits the predicted bandwidth with a safety margin,
+//! with upward hysteresis to avoid oscillation.
+
+use serde::{Deserialize, Serialize};
+
+/// One quality level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LadderRung {
+    /// Image side length, pixels (square views).
+    pub resolution: u32,
+    /// Total bitrate at this rung (all camera views), bps.
+    pub bitrate_bps: f64,
+    /// NeRF sub-network width serving this resolution (§3.2's slimmable
+    /// network coupling).
+    pub network_width: u32,
+}
+
+/// An ordered set of quality levels (ascending bitrate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ladder {
+    /// Rungs sorted by ascending bitrate.
+    pub rungs: Vec<LadderRung>,
+}
+
+impl Ladder {
+    /// The default 4-rung ladder used by the image pipeline: resolutions
+    /// with bitrates scaling roughly with pixel count.
+    pub fn standard() -> Self {
+        Self {
+            rungs: vec![
+                LadderRung { resolution: 128, bitrate_bps: 2.0e6, network_width: 16 },
+                LadderRung { resolution: 256, bitrate_bps: 6.0e6, network_width: 32 },
+                LadderRung { resolution: 512, bitrate_bps: 18.0e6, network_width: 64 },
+                LadderRung { resolution: 1024, bitrate_bps: 55.0e6, network_width: 128 },
+            ],
+        }
+    }
+
+    /// Validate monotonicity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rungs.is_empty() {
+            return Err("ladder has no rungs".into());
+        }
+        for w in self.rungs.windows(2) {
+            if w[1].bitrate_bps <= w[0].bitrate_bps {
+                return Err("ladder bitrates must ascend".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hysteretic ladder controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbrController {
+    /// The ladder.
+    pub ladder: Ladder,
+    /// Fraction of predicted bandwidth considered usable (< 1).
+    pub safety: f64,
+    /// Consecutive decisions required before switching up.
+    pub up_hysteresis: u32,
+    current: usize,
+    up_pending: u32,
+}
+
+impl AbrController {
+    /// Start at the lowest rung.
+    pub fn new(ladder: Ladder, safety: f64) -> Self {
+        Self { ladder, safety: safety.clamp(0.1, 1.0), up_hysteresis: 3, current: 0, up_pending: 0 }
+    }
+
+    /// Current rung.
+    pub fn current(&self) -> LadderRung {
+        self.ladder.rungs[self.current]
+    }
+
+    /// Feed a bandwidth prediction; returns the (possibly new) rung.
+    pub fn decide(&mut self, predicted_bps: f64) -> LadderRung {
+        let usable = predicted_bps * self.safety;
+        // The highest rung that fits.
+        let target = self
+            .ladder
+            .rungs
+            .iter()
+            .rposition(|r| r.bitrate_bps <= usable)
+            .unwrap_or(0);
+        if target > self.current {
+            // Hysteresis on the way up.
+            self.up_pending += 1;
+            if self.up_pending >= self.up_hysteresis {
+                self.current += 1; // one rung at a time
+                self.up_pending = 0;
+            }
+        } else {
+            self.up_pending = 0;
+            if target < self.current {
+                // Immediate downgrade (congestion response).
+                self.current = target;
+            }
+        }
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::BandwidthTrace;
+
+    #[test]
+    fn standard_ladder_valid() {
+        assert!(Ladder::standard().validate().is_ok());
+        let bad = Ladder { rungs: vec![] };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn starts_low_and_climbs_with_hysteresis() {
+        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        assert_eq!(c.current().resolution, 128);
+        // Plenty of bandwidth: climbs one rung per hysteresis window.
+        let mut history = Vec::new();
+        for _ in 0..12 {
+            history.push(c.decide(100e6).resolution);
+        }
+        assert_eq!(*history.last().unwrap(), 1024);
+        // Must pass through intermediate rungs, not jump.
+        assert!(history.contains(&256) && history.contains(&512), "{history:?}");
+    }
+
+    #[test]
+    fn downgrades_immediately_on_congestion() {
+        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        for _ in 0..20 {
+            c.decide(100e6);
+        }
+        assert_eq!(c.current().resolution, 1024);
+        let r = c.decide(5e6);
+        assert_eq!(r.resolution, 128, "must drop straight down");
+    }
+
+    #[test]
+    fn never_exceeds_safe_bandwidth() {
+        let trace = BandwidthTrace::lte(4);
+        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        for i in 0..300 {
+            let bw = trace.bps_at(i as f64 * 0.2);
+            let rung = c.decide(bw);
+            assert!(
+                rung.bitrate_bps <= bw * 0.8 + 1.0 || rung.resolution == 128,
+                "rung {} over budget {}",
+                rung.bitrate_bps,
+                bw
+            );
+        }
+    }
+
+    #[test]
+    fn width_couples_to_resolution() {
+        let ladder = Ladder::standard();
+        for w in ladder.rungs.windows(2) {
+            assert!(w[1].network_width > w[0].network_width);
+        }
+    }
+
+    #[test]
+    fn zero_bandwidth_stays_at_floor() {
+        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        assert_eq!(c.decide(0.0).resolution, 128);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic network substrate for the SemHolo reproduction.
+//!
+//! Every bandwidth/latency number in the paper's argument — the 100 Mbps
+//! that ViVo needs, the 25 Mbps U.S. broadband baseline, the < 100 ms
+//! end-to-end budget — lives here. Following the event-driven poll model
+//! of the networking guides (smoltcp-style: explicit virtual time, no
+//! hidden threads), the simulator is fully deterministic from a seed, so
+//! every experiment that involves "the Internet" replays exactly.
+//!
+//! - [`time`] — virtual clock ([`SimTime`]), microsecond resolution.
+//! - [`packet`] — packets carrying [`bytes::Bytes`] payloads.
+//! - [`link`] — a bottleneck link: serialization at the (time-varying)
+//!   trace rate, propagation delay, jitter, tail-drop queue, random loss.
+//! - [`trace`] — bandwidth traces: constant, stepped, broadband (25 Mbps
+//!   class), and LTE-like Markov traces.
+//! - [`transport`] — frame framing/fragmentation over a link, reassembly,
+//!   per-frame latency accounting, selective retransmission.
+//! - [`predict`] — bandwidth predictors (EWMA, harmonic mean) used by
+//!   rate adaptation (§3.2).
+//! - [`abr`] — the rate-adaptation ladder controller that picks an image
+//!   resolution per predicted bandwidth (§3.2).
+//! - [`mpc`] — a model-predictive controller in the Pensieve/RobustMPC
+//!   family the paper cites: plans rung choices over a horizon against a
+//!   frame-queue model.
+
+pub mod abr;
+pub mod link;
+pub mod mpc;
+pub mod packet;
+pub mod predict;
+pub mod time;
+pub mod trace;
+pub mod transport;
+
+pub use abr::{AbrController, Ladder, LadderRung};
+pub use mpc::{MpcController, MpcObjective};
+pub use link::{Link, LinkConfig};
+pub use packet::Packet;
+pub use predict::{BandwidthPredictor, EwmaPredictor, HarmonicMeanPredictor};
+pub use time::SimTime;
+pub use trace::BandwidthTrace;
+pub use transport::{FrameReceiver, FrameSender, FrameTransport};

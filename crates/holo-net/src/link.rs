@@ -1,0 +1,207 @@
+//! The bottleneck link model.
+//!
+//! A single-server fluid queue: packets serialize at the trace's current
+//! rate, wait behind earlier packets (tail-drop beyond the configured
+//! queue depth), then experience propagation delay, jitter, and random
+//! loss. This is the standard bottleneck abstraction for application-
+//! level streaming studies; everything is virtual-time and seeded.
+
+use crate::time::SimTime;
+use crate::trace::BandwidthTrace;
+use holo_math::Pcg32;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Link parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Uniform jitter added on top of propagation, max.
+    pub jitter_max: Duration,
+    /// Random packet loss probability.
+    pub loss_rate: f32,
+    /// Maximum queueing delay before tail drop.
+    pub max_queue_delay: Duration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            propagation: Duration::from_millis(20),
+            jitter_max: Duration::from_millis(2),
+            loss_rate: 0.0,
+            max_queue_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The outcome of offering a packet to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered at the given time.
+    At(SimTime),
+    /// Dropped: queue overflow.
+    QueueDrop,
+    /// Dropped: random loss.
+    Lost,
+}
+
+/// A unidirectional bottleneck link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Static parameters.
+    pub config: LinkConfig,
+    /// Capacity trace.
+    pub trace: BandwidthTrace,
+    busy_until: SimTime,
+    rng: Pcg32,
+    /// Counters.
+    pub delivered: u64,
+    pub dropped: u64,
+    pub bytes_delivered: u64,
+}
+
+impl Link {
+    /// Build a link.
+    pub fn new(config: LinkConfig, trace: BandwidthTrace, seed: u64) -> Self {
+        Self {
+            config,
+            trace,
+            busy_until: SimTime::ZERO,
+            rng: Pcg32::new(seed),
+            delivered: 0,
+            dropped: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// Current queueing delay if a packet were offered at `now`.
+    pub fn queue_delay(&self, now: SimTime) -> Duration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Offer a packet of `wire_bytes` at time `now`.
+    pub fn transmit(&mut self, wire_bytes: usize, now: SimTime) -> Delivery {
+        let start = self.busy_until.max(now);
+        let queue_delay = start - now;
+        if queue_delay > self.config.max_queue_delay {
+            self.dropped += 1;
+            return Delivery::QueueDrop;
+        }
+        let rate = self.trace.bps_at(start.as_secs_f64()).max(1.0);
+        let serialization = Duration::from_secs_f64(wire_bytes as f64 * 8.0 / rate);
+        self.busy_until = start + serialization;
+        if self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate) {
+            self.dropped += 1;
+            return Delivery::Lost;
+        }
+        let jitter = if self.config.jitter_max.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(self.rng.next_f32() as f64 * self.config.jitter_max.as_secs_f64())
+        };
+        self.delivered += 1;
+        self.bytes_delivered += wire_bytes as u64;
+        Delivery::At(self.busy_until + self.config.propagation + jitter)
+    }
+
+    /// Achieved goodput over an interval, bps.
+    pub fn goodput_bps(&self, duration: Duration) -> f64 {
+        self.bytes_delivered as f64 * 8.0 / duration.as_secs_f64().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_link(bps: f64) -> Link {
+        Link::new(
+            LinkConfig { jitter_max: Duration::ZERO, ..Default::default() },
+            BandwidthTrace::Constant { bps },
+            1,
+        )
+    }
+
+    #[test]
+    fn single_packet_latency_is_serialization_plus_propagation() {
+        let mut link = quiet_link(8e6); // 1 MB/s
+        let d = link.transmit(1000, SimTime::ZERO);
+        // 1000 B at 8 Mbps = 1 ms; + 20 ms propagation.
+        match d {
+            Delivery::At(t) => {
+                assert!((t.as_millis_f64() - 21.0).abs() < 0.1, "latency {}", t.as_millis_f64())
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut link = quiet_link(8e6);
+        let a = link.transmit(1000, SimTime::ZERO);
+        let b = link.transmit(1000, SimTime::ZERO);
+        let (Delivery::At(ta), Delivery::At(tb)) = (a, b) else {
+            panic!("drops on empty link");
+        };
+        assert!((tb.as_millis_f64() - ta.as_millis_f64() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut link = quiet_link(1e6); // slow: 8 ms per KB
+        let mut drops = 0;
+        for _ in 0..100 {
+            if link.transmit(1000, SimTime::ZERO) == Delivery::QueueDrop {
+                drops += 1;
+            }
+        }
+        // 200 ms queue limit / 8 ms per packet = ~25 accepted.
+        assert!(drops > 60, "drops {drops}");
+        assert!(link.dropped as usize == drops);
+    }
+
+    #[test]
+    fn random_loss_rate_approximated() {
+        let mut link = Link::new(
+            LinkConfig { loss_rate: 0.1, max_queue_delay: Duration::from_secs(100), ..Default::default() },
+            BandwidthTrace::Constant { bps: 1e9 },
+            7,
+        );
+        let mut lost = 0;
+        for i in 0..5000 {
+            if link.transmit(100, SimTime::from_millis(i)) == Delivery::Lost {
+                lost += 1;
+            }
+        }
+        let rate = lost as f32 / 5000.0;
+        assert!((rate - 0.1).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn trace_rate_changes_serialization() {
+        let trace = BandwidthTrace::Steps { steps: vec![(0.0, 8e6), (1.0, 0.8e6)] };
+        let mut link = Link::new(
+            LinkConfig { jitter_max: Duration::ZERO, ..Default::default() },
+            trace,
+            1,
+        );
+        let Delivery::At(fast) = link.transmit(1000, SimTime::ZERO) else { panic!() };
+        let mut link2 = link.clone();
+        let Delivery::At(slow) = link2.transmit(1000, SimTime::from_secs_f64(1.0)) else { panic!() };
+        let fast_ser = fast.as_millis_f64() - 20.0;
+        let slow_ser = slow.as_millis_f64() - 1000.0 - 20.0;
+        assert!((slow_ser / fast_ser - 10.0).abs() < 0.5, "fast {fast_ser} slow {slow_ser}");
+    }
+
+    #[test]
+    fn idle_link_has_no_queue() {
+        let mut link = quiet_link(1e6);
+        assert_eq!(link.queue_delay(SimTime::ZERO), Duration::ZERO);
+        link.transmit(10_000, SimTime::ZERO);
+        assert!(link.queue_delay(SimTime::ZERO) > Duration::ZERO);
+        // After the queue drains, it's idle again.
+        assert_eq!(link.queue_delay(SimTime::from_secs_f64(10.0)), Duration::ZERO);
+    }
+}

@@ -1,0 +1,237 @@
+//! Model-predictive rate adaptation (the Pensieve/MPC family the paper
+//! cites for rate adaption, [43, 61]).
+//!
+//! The ladder controller in [`crate::abr`] is reactive; an MPC controller
+//! plans: over a short horizon it enumerates rung sequences, simulates
+//! the receive buffer against predicted bandwidth, and picks the first
+//! rung of the sequence maximizing a QoE objective (quality - rebuffer
+//! penalty - switching penalty). For live holographic streams the
+//! "buffer" is the frame queue ahead of the renderer: draining it means
+//! a frozen hologram.
+
+use crate::abr::{Ladder, LadderRung};
+use serde::{Deserialize, Serialize};
+
+/// QoE objective weights for the planner.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MpcObjective {
+    /// Reward per unit log-bitrate (diminishing returns on quality).
+    pub quality: f64,
+    /// Penalty per second of predicted rebuffering. Live holograms
+    /// freeze when the frame queue drains, so this dominates the
+    /// objective (RobustMPC uses a similar ratio).
+    pub rebuffer: f64,
+    /// Penalty per rung switch (visual consistency).
+    pub switch: f64,
+}
+
+impl Default for MpcObjective {
+    fn default() -> Self {
+        Self { quality: 1.0, rebuffer: 50.0, switch: 0.5 }
+    }
+}
+
+/// Horizon-limited model-predictive ladder controller.
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    /// The quality ladder.
+    pub ladder: Ladder,
+    /// Planning horizon in frames.
+    pub horizon: usize,
+    /// Objective weights.
+    pub objective: MpcObjective,
+    /// Target buffer level, seconds.
+    pub target_buffer_s: f64,
+    current: usize,
+}
+
+impl MpcController {
+    /// Start at the lowest rung.
+    pub fn new(ladder: Ladder, horizon: usize) -> Self {
+        Self {
+            ladder,
+            horizon: horizon.clamp(1, 8),
+            objective: MpcObjective::default(),
+            target_buffer_s: 0.25,
+            current: 0,
+        }
+    }
+
+    /// Current rung.
+    pub fn current(&self) -> LadderRung {
+        self.ladder.rungs[self.current]
+    }
+
+    /// Plan against `predicted_bps` with `buffer_s` seconds of frames
+    /// queued; returns the rung to use for the next frame.
+    ///
+    /// Exhaustive enumeration is exponential in the horizon, so planning
+    /// follows the standard robust-MPC simplification: each candidate
+    /// *constant* rung sequence is simulated (quality switches within the
+    /// horizon rarely pay off against the switch penalty), plus the
+    /// one-step neighbors of the current rung.
+    pub fn decide(&mut self, predicted_bps: f64, buffer_s: f64, frame_interval_s: f64) -> LadderRung {
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best = self.current;
+        let candidates: Vec<usize> = (0..self.ladder.rungs.len()).collect();
+        for &cand in &candidates {
+            let score = self.simulate(cand, predicted_bps, buffer_s, frame_interval_s);
+            if score > best_score {
+                best_score = score;
+                best = cand;
+            }
+        }
+        // Rung changes move one step at a time (hybrid of MPC choice and
+        // switching smoothness).
+        self.current = match best.cmp(&self.current) {
+            std::cmp::Ordering::Greater => self.current + 1,
+            std::cmp::Ordering::Less => self.current - 1,
+            std::cmp::Ordering::Equal => self.current,
+        };
+        self.current()
+    }
+
+    /// Simulate holding `rung` for the horizon; return the objective.
+    fn simulate(&self, rung: usize, predicted_bps: f64, buffer_s: f64, frame_interval_s: f64) -> f64 {
+        let r = &self.ladder.rungs[rung];
+        let mut buffer = buffer_s;
+        let mut rebuffer = 0.0;
+        for _ in 0..self.horizon {
+            // Time to deliver one frame of this rung at the predicted rate.
+            let frame_bits = r.bitrate_bps * frame_interval_s;
+            let delivery_s = frame_bits / predicted_bps.max(1.0);
+            // The buffer drains in real time while the frame downloads.
+            buffer -= delivery_s;
+            if buffer < 0.0 {
+                rebuffer += -buffer;
+                buffer = 0.0;
+            }
+            buffer += frame_interval_s;
+        }
+        let quality = (r.bitrate_bps / self.ladder.rungs[0].bitrate_bps).ln();
+        let switches = (rung as i64 - self.current as i64).unsigned_abs() as f64;
+        self.objective.quality * quality
+            - self.objective.rebuffer * rebuffer
+            - self.objective.switch * switches
+            // Mild preference for buffers near the target (live latency).
+            - 0.1 * (buffer - self.target_buffer_s).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{BandwidthPredictor, HarmonicMeanPredictor};
+    use crate::trace::BandwidthTrace;
+
+    fn controller() -> MpcController {
+        MpcController::new(Ladder::standard(), 5)
+    }
+
+    #[test]
+    fn plenty_of_bandwidth_climbs_to_top() {
+        let mut c = controller();
+        for _ in 0..10 {
+            c.decide(200e6, 0.3, 1.0 / 30.0);
+        }
+        assert_eq!(c.current().resolution, 1024);
+    }
+
+    #[test]
+    fn starved_link_stays_at_bottom() {
+        let mut c = controller();
+        for _ in 0..10 {
+            c.decide(1e6, 0.3, 1.0 / 30.0);
+        }
+        assert_eq!(c.current().resolution, 128);
+    }
+
+    #[test]
+    fn low_buffer_is_conservative() {
+        // Same predicted bandwidth, different buffers: the near-empty
+        // buffer must pick a lower (or equal) rung.
+        let mut rich = controller();
+        let mut poor = controller();
+        for _ in 0..8 {
+            rich.decide(20e6, 0.5, 1.0 / 30.0);
+            poor.decide(20e6, 0.01, 1.0 / 30.0);
+        }
+        assert!(
+            poor.current().bitrate_bps <= rich.current().bitrate_bps,
+            "poor buffer {:?} vs rich {:?}",
+            poor.current(),
+            rich.current()
+        );
+    }
+
+    #[test]
+    fn tracks_an_lte_trace_without_rebuffering_much() {
+        let trace = BandwidthTrace::lte(17);
+        let mut c = controller();
+        let mut predictor = HarmonicMeanPredictor::new(8);
+        let dt = 1.0 / 30.0;
+        let mut buffer = 0.3f64;
+        let mut rebuffer_events = 0;
+        for i in 0..600 {
+            let t = i as f64 * dt;
+            let actual = trace.bps_at(t);
+            predictor.observe(actual);
+            let rung = c.decide(predictor.predict(), buffer, dt);
+            let delivery = rung.bitrate_bps * dt / actual.max(1.0);
+            buffer -= delivery;
+            if buffer < 0.0 {
+                rebuffer_events += 1;
+                buffer = 0.0;
+            }
+            buffer = (buffer + dt).min(1.0);
+        }
+        assert!(
+            rebuffer_events < 30,
+            "MPC rebuffered {rebuffer_events}/600 frames on LTE"
+        );
+    }
+
+    #[test]
+    fn mpc_outperforms_static_top_rung_on_variable_link() {
+        // Static top-rung streaming rebuffers badly where MPC adapts.
+        let trace = BandwidthTrace::Lte { states: vec![4e6, 12e6, 60e6], dwell_s: 1.0, seed: 3 };
+        let dt = 1.0 / 30.0;
+        let run = |adaptive: bool| {
+            let mut c = controller();
+            let mut predictor = HarmonicMeanPredictor::new(8);
+            let mut buffer = 0.3f64;
+            let mut rebuffer = 0.0;
+            for i in 0..600 {
+                let actual = trace.bps_at(i as f64 * dt);
+                predictor.observe(actual);
+                let rung = if adaptive {
+                    c.decide(predictor.predict(), buffer, dt)
+                } else {
+                    *c.ladder.rungs.last().unwrap()
+                };
+                let delivery = rung.bitrate_bps * dt / actual.max(1.0);
+                buffer -= delivery;
+                if buffer < 0.0 {
+                    rebuffer += -buffer;
+                    buffer = 0.0;
+                }
+                buffer = (buffer + dt).min(1.0);
+            }
+            rebuffer
+        };
+        let adaptive = run(true);
+        let static_top = run(false);
+        assert!(
+            adaptive < static_top * 0.5,
+            "MPC rebuffer {adaptive:.2}s vs static {static_top:.2}s"
+        );
+    }
+
+    #[test]
+    fn one_step_switching() {
+        let mut c = controller();
+        // Huge bandwidth, but rungs move one at a time.
+        let r1 = c.decide(1e9, 0.5, 1.0 / 30.0);
+        assert_eq!(r1.resolution, 256, "one step up at a time");
+    }
+}

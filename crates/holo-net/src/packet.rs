@@ -1,0 +1,67 @@
+//! Packets.
+
+use crate::time::SimTime;
+use bytes::Bytes;
+
+/// A packet in flight. Payload is reference-counted ([`Bytes`]) so
+/// fragmentation never copies frame data.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Frame this packet belongs to.
+    pub frame_id: u64,
+    /// Fragment index within the frame.
+    pub fragment: u32,
+    /// Total fragments in the frame.
+    pub fragment_count: u32,
+    /// Payload bytes (fragment of the frame body).
+    pub payload: Bytes,
+    /// Time the packet entered the link.
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// On-wire size: payload plus a fixed header estimate
+    /// (IP + UDP + our framing = 40 bytes).
+    pub const HEADER_BYTES: usize = 40;
+
+    /// Total wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + Self::HEADER_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = Packet {
+            seq: 0,
+            frame_id: 0,
+            fragment: 0,
+            fragment_count: 1,
+            payload: Bytes::from(vec![0u8; 1000]),
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(p.wire_size(), 1040);
+    }
+
+    #[test]
+    fn payload_is_cheap_to_clone() {
+        let data = Bytes::from(vec![7u8; 1 << 20]);
+        let p = Packet {
+            seq: 1,
+            frame_id: 2,
+            fragment: 0,
+            fragment_count: 1,
+            payload: data.slice(0..1200),
+            sent_at: SimTime::ZERO,
+        };
+        let q = p.clone();
+        assert_eq!(q.payload.len(), 1200);
+        assert_eq!(q.payload[0], 7);
+    }
+}

@@ -1,0 +1,156 @@
+//! Bandwidth traces.
+//!
+//! The link's capacity at any instant comes from a trace. Besides
+//! constant and stepped traces for controlled experiments, two synthetic
+//! but statistically grounded families are provided: a cable/fiber
+//! "broadband" trace centered on the 25 Mbps U.S. standard the paper
+//! cites, and an LTE-like Markov trace with coarse state switches plus
+//! fast fading, the volatile regime rate adaptation must survive.
+
+use holo_math::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// A time-varying capacity, bits per second.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BandwidthTrace {
+    /// Fixed capacity.
+    Constant {
+        /// Capacity, bps.
+        bps: f64,
+    },
+    /// Piecewise-constant steps: `(start_time_s, bps)` sorted by time.
+    Steps {
+        /// Step table.
+        steps: Vec<(f64, f64)>,
+    },
+    /// Broadband: slow sinusoidal drift + small noise around a mean.
+    Broadband {
+        /// Mean capacity, bps.
+        mean_bps: f64,
+        /// Relative drift amplitude (0.1 = +-10%).
+        drift: f64,
+        /// Seed for the noise component.
+        seed: u64,
+    },
+    /// LTE-like: Markov chain over capacity states with fast fading.
+    Lte {
+        /// Capacity states, bps.
+        states: Vec<f64>,
+        /// Mean state dwell time, seconds.
+        dwell_s: f64,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+impl BandwidthTrace {
+    /// The paper's 25 Mbps U.S. broadband baseline.
+    pub fn us_broadband(seed: u64) -> Self {
+        BandwidthTrace::Broadband { mean_bps: 25e6, drift: 0.15, seed }
+    }
+
+    /// A typical LTE profile (5-60 Mbps states).
+    pub fn lte(seed: u64) -> Self {
+        BandwidthTrace::Lte {
+            states: vec![5e6, 12e6, 25e6, 40e6, 60e6],
+            dwell_s: 3.0,
+            seed,
+        }
+    }
+
+    /// Capacity in bps at time `t` seconds. Deterministic in `t`.
+    pub fn bps_at(&self, t: f64) -> f64 {
+        match self {
+            BandwidthTrace::Constant { bps } => *bps,
+            BandwidthTrace::Steps { steps } => {
+                let mut current = steps.first().map_or(0.0, |s| s.1);
+                for &(start, bps) in steps {
+                    if t >= start {
+                        current = bps;
+                    } else {
+                        break;
+                    }
+                }
+                current
+            }
+            BandwidthTrace::Broadband { mean_bps, drift, seed } => {
+                // Slow drift + deterministic per-second noise.
+                let slow = (t * 0.05 * std::f64::consts::TAU + *seed as f64).sin();
+                let sec = t.floor() as u64;
+                let mut rng = Pcg32::with_stream(*seed ^ sec, 77);
+                let noise = (rng.next_f32() as f64 - 0.5) * 0.1;
+                (mean_bps * (1.0 + drift * slow + noise)).max(mean_bps * 0.2)
+            }
+            BandwidthTrace::Lte { states, dwell_s, seed } => {
+                if states.is_empty() {
+                    return 0.0;
+                }
+                // State changes at epoch boundaries (mean dwell), chosen
+                // deterministically per epoch.
+                let epoch = (t / dwell_s.max(0.1)) as u64;
+                let mut rng = Pcg32::with_stream(seed.wrapping_add(epoch), 33);
+                let state = states[rng.index(states.len())];
+                // Fast fading within the epoch (100 ms granularity).
+                let slot = (t * 10.0) as u64;
+                let mut fade_rng = Pcg32::with_stream(seed ^ slot, 44);
+                let fade = 0.75 + 0.5 * fade_rng.next_f32() as f64;
+                state * fade
+            }
+        }
+    }
+
+    /// Mean capacity over `[0, duration]` sampled at `dt` (for reporting).
+    pub fn mean_bps(&self, duration: f64, dt: f64) -> f64 {
+        let n = (duration / dt).max(1.0) as usize;
+        (0..n).map(|i| self.bps_at(i as f64 * dt)).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let t = BandwidthTrace::Constant { bps: 10e6 };
+        assert_eq!(t.bps_at(0.0), 10e6);
+        assert_eq!(t.bps_at(100.0), 10e6);
+    }
+
+    #[test]
+    fn steps_switch_at_boundaries() {
+        let t = BandwidthTrace::Steps { steps: vec![(0.0, 10e6), (5.0, 2e6), (10.0, 20e6)] };
+        assert_eq!(t.bps_at(1.0), 10e6);
+        assert_eq!(t.bps_at(5.0), 2e6);
+        assert_eq!(t.bps_at(9.9), 2e6);
+        assert_eq!(t.bps_at(15.0), 20e6);
+    }
+
+    #[test]
+    fn broadband_stays_near_mean() {
+        let t = BandwidthTrace::us_broadband(3);
+        let mean = t.mean_bps(120.0, 0.5);
+        assert!((mean - 25e6).abs() / 25e6 < 0.15, "mean {mean}");
+        for i in 0..200 {
+            let b = t.bps_at(i as f64 * 0.6);
+            assert!(b > 5e6 && b < 40e6, "broadband excursion {b}");
+        }
+    }
+
+    #[test]
+    fn lte_visits_multiple_states() {
+        let t = BandwidthTrace::lte(5);
+        let mut values: Vec<f64> = (0..300).map(|i| t.bps_at(i as f64 * 0.4)).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let spread = values[values.len() - 1] / values[0];
+        assert!(spread > 3.0, "LTE trace spread {spread}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = BandwidthTrace::lte(9);
+        assert_eq!(t.bps_at(12.34), t.bps_at(12.34));
+        let b = BandwidthTrace::us_broadband(9);
+        assert_eq!(b.bps_at(7.7), b.bps_at(7.7));
+    }
+}

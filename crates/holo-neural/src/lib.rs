@@ -1,0 +1,30 @@
+//! Neural substrate for image-based semantics (§3.2).
+//!
+//! The paper's image pipeline needs NeRF: an MLP mapping positionally
+//! encoded 3D coordinates to color and density, trained by gradient
+//! descent through a volume renderer, *fine-tunable* frame to frame, and
+//! — for rate adaptation — *slimmable*, i.e. executable at several widths
+//! from one weight set. No ML framework is available offline, so this
+//! crate implements the whole stack from scratch at laptop scale:
+//!
+//! - [`mlp`] — dense layers, ReLU, manual backprop, Adam, and width
+//!   slimming (a narrower sub-network uses the leading rows/columns of
+//!   each weight matrix, as in slimmable networks).
+//! - [`posenc`] — NeRF's sinusoidal positional encoding.
+//! - [`nerf`] — the radiance field and a differentiable volume renderer
+//!   (alpha compositing with hand-derived gradients).
+//! - [`train`] — ray datasets from the capture rig, the training loop,
+//!   pre-train + per-frame fine-tune, and PSNR evaluation.
+//!
+//! Everything is `f32`, seeded, and sized so unit tests train real
+//! networks in seconds.
+
+pub mod mlp;
+pub mod nerf;
+pub mod posenc;
+pub mod train;
+
+pub use mlp::{Adam, Linear, Mlp};
+pub use nerf::{NerfField, VolumeRenderer};
+pub use posenc::PositionalEncoding;
+pub use train::{psnr, RayDataset, TrainConfig, Trainer};

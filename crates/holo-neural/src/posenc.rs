@@ -1,0 +1,104 @@
+//! NeRF positional encoding.
+//!
+//! MLPs learn low-frequency functions first; NeRF lifts 3D coordinates
+//! into a Fourier basis so the network can represent sharp spatial
+//! detail: `gamma(p) = [p, sin(2^0 pi p), cos(2^0 pi p), ...,
+//! sin(2^(L-1) pi p), cos(2^(L-1) pi p)]` per component.
+
+use holo_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A positional encoding of 3D points with `levels` octaves.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PositionalEncoding {
+    /// Number of frequency octaves `L`.
+    pub levels: u32,
+    /// Include the raw coordinates in the output.
+    pub include_input: bool,
+}
+
+impl PositionalEncoding {
+    /// Standard encoding with `levels` octaves, raw input included.
+    pub fn new(levels: u32) -> Self {
+        Self { levels, include_input: true }
+    }
+
+    /// Output dimensionality for a 3D input.
+    pub fn out_dim(&self) -> usize {
+        (if self.include_input { 3 } else { 0 }) + 6 * self.levels as usize
+    }
+
+    /// Encode a point into `out` (must be `out_dim` long).
+    pub fn encode_into(&self, p: Vec3, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.out_dim());
+        let mut k = 0;
+        if self.include_input {
+            out[0] = p.x;
+            out[1] = p.y;
+            out[2] = p.z;
+            k = 3;
+        }
+        let mut freq = std::f32::consts::PI;
+        for _ in 0..self.levels {
+            for c in [p.x, p.y, p.z] {
+                out[k] = (c * freq).sin();
+                out[k + 1] = (c * freq).cos();
+                k += 2;
+            }
+            freq *= 2.0;
+        }
+    }
+
+    /// Encode into a fresh vector.
+    pub fn encode(&self, p: Vec3) -> Vec<f32> {
+        let mut out = vec![0.0; self.out_dim()];
+        self.encode_into(p, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        assert_eq!(PositionalEncoding::new(4).out_dim(), 3 + 24);
+        let no_input = PositionalEncoding { levels: 2, include_input: false };
+        assert_eq!(no_input.out_dim(), 12);
+    }
+
+    #[test]
+    fn values_bounded_and_start_with_input() {
+        let enc = PositionalEncoding::new(6);
+        let p = Vec3::new(0.3, -0.7, 0.1);
+        let v = enc.encode(p);
+        assert_eq!(v[0], 0.3);
+        assert_eq!(v[1], -0.7);
+        for &x in &v[3..] {
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn distinguishes_nearby_points() {
+        // Two points closer than the lowest frequency still produce
+        // separated encodings at high octaves.
+        let enc = PositionalEncoding::new(8);
+        let a = enc.encode(Vec3::new(0.500, 0.0, 0.0));
+        let b = enc.encode(Vec3::new(0.502, 0.0, 0.0));
+        let dist: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+        let input_dist = 0.002;
+        assert!(dist > input_dist * 50.0, "encoding distance {dist}");
+    }
+
+    #[test]
+    fn zero_point() {
+        let enc = PositionalEncoding::new(3);
+        let v = enc.encode(Vec3::ZERO);
+        assert_eq!(v[0], 0.0);
+        // sin(0) = 0, cos(0) = 1 pattern.
+        assert_eq!(v[3], 0.0);
+        assert_eq!(v[4], 1.0);
+    }
+}

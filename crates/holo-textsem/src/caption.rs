@@ -1,0 +1,240 @@
+//! 3D captioning: point cloud -> token sequence -> bytes.
+
+use crate::cells::CellPartition;
+use crate::vq::Codebook;
+use holo_compress::lzma::{lzma_compress, lzma_decompress};
+use holo_compress::primitives::{read_varint, write_varint};
+use holo_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A frame caption: one token per occupied cell, in ascending cell order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Caption {
+    /// `(cell index, token)` pairs, ascending by cell.
+    pub tokens: Vec<(u32, u16)>,
+}
+
+impl Caption {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no cells are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Serialize: varint count, then delta-coded cell indices and tokens,
+    /// all LZMA-compressed. This is what crosses the network.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut raw = Vec::with_capacity(4 + self.tokens.len() * 3);
+        write_varint(&mut raw, self.tokens.len() as u32);
+        let mut prev = 0u32;
+        for &(cell, token) in &self.tokens {
+            write_varint(&mut raw, cell - prev);
+            write_varint(&mut raw, token as u32);
+            prev = cell;
+        }
+        lzma_compress(&raw)
+    }
+
+    /// Parse [`Caption::to_bytes`] output.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+        let raw = lzma_decompress(data)?;
+        let (count, mut pos) = read_varint(&raw).ok_or("truncated caption")?;
+        let mut tokens = Vec::with_capacity(count as usize);
+        let mut prev = 0u32;
+        for _ in 0..count {
+            let (dc, used) = read_varint(&raw[pos..]).ok_or("truncated cell delta")?;
+            pos += used;
+            let (tok, used) = read_varint(&raw[pos..]).ok_or("truncated token")?;
+            pos += used;
+            if tok > u16::MAX as u32 {
+                return Err(format!("token {tok} out of range"));
+            }
+            prev += dc;
+            tokens.push((prev, tok as u16));
+        }
+        Ok(Self { tokens })
+    }
+
+    /// Render the caption as human-readable pseudo-text ("words" from a
+    /// syllable alphabet, one per token) — the literal "text" channel.
+    pub fn as_text(&self) -> String {
+        const ONSET: [&str; 8] = ["b", "d", "f", "k", "l", "m", "r", "t"];
+        const NUCLEUS: [&str; 5] = ["a", "e", "i", "o", "u"];
+        let mut s = String::new();
+        for (i, &(cell, token)) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            // Two syllables from the token, one from the cell.
+            let t = token as usize;
+            s.push_str(ONSET[t % 8]);
+            s.push_str(NUCLEUS[(t / 8) % 5]);
+            s.push_str(ONSET[(t / 40) % 8]);
+            s.push_str(NUCLEUS[(t / 320) % 5]);
+            s.push_str(ONSET[cell as usize % 8]);
+            s.push_str(NUCLEUS[(cell as usize / 8) % 5]);
+        }
+        s
+    }
+}
+
+/// The captioner: partition + codebook.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Captioner {
+    /// Cell partition.
+    pub partition: CellPartition,
+    /// Trained vocabulary.
+    pub codebook: Codebook,
+}
+
+impl Captioner {
+    /// Caption a point cloud.
+    pub fn caption(&self, points: &[Vec3]) -> Caption {
+        let tokens = self
+            .partition
+            .features(points)
+            .into_iter()
+            .map(|(cell, f)| (cell, self.codebook.quantize(&f)))
+            .collect();
+        Caption { tokens }
+    }
+
+    /// Caption with temporal *token stickiness* (dead-zone quantization):
+    /// a cell keeps its previous token as long as the previous codeword
+    /// still fits the new feature within `slack` times the best
+    /// codeword's error. This suppresses the token churn that sensor
+    /// noise causes on cell boundaries, which is what makes the §3.3
+    /// delta coding effective on real captures.
+    pub fn caption_with_reference(
+        &self,
+        points: &[Vec3],
+        previous: &std::collections::BTreeMap<u32, u16>,
+        slack: f32,
+    ) -> Caption {
+        let dist = |a: &crate::cells::CellFeature, token: u16| -> f32 {
+            match self.codebook.decode(token) {
+                Some(c) => a.0.iter().zip(&c.0).map(|(x, y)| (x - y) * (x - y)).sum(),
+                None => f32::INFINITY,
+            }
+        };
+        let tokens = self
+            .partition
+            .features(points)
+            .into_iter()
+            .map(|(cell, f)| {
+                let best = self.codebook.quantize(&f);
+                if let Some(&prev) = previous.get(&cell) {
+                    if prev != best && dist(&f, prev) <= dist(&f, best) * slack.max(1.0) {
+                        return (cell, prev);
+                    }
+                }
+                (cell, best)
+            })
+            .collect();
+        Caption { tokens }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellFeature;
+    use holo_math::Pcg32;
+
+    fn make_captioner(seed: u64) -> Captioner {
+        let partition = CellPartition::body_volume(8);
+        let mut rng = Pcg32::new(seed);
+        // Train the codebook on random plausible features.
+        let corpus: Vec<CellFeature> = (0..500)
+            .map(|_| {
+                CellFeature([
+                    rng.next_f32(),
+                    rng.range_f32(-0.5, 0.5),
+                    rng.range_f32(-0.5, 0.5),
+                    rng.range_f32(-0.5, 0.5),
+                    rng.next_f32(),
+                    rng.next_f32(),
+                    rng.next_f32(),
+                ])
+            })
+            .collect();
+        let codebook = Codebook::train(&corpus, 64, 8, &mut rng);
+        Captioner { partition, codebook }
+    }
+
+    fn body_like_cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = Pcg32::new(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.normal() * 0.15,
+                    1.0 + rng.normal() * 0.4,
+                    rng.normal() * 0.1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn caption_roundtrips_through_bytes() {
+        let cap = make_captioner(1);
+        let cloud = body_like_cloud(3000, 2);
+        let caption = cap.caption(&cloud);
+        assert!(!caption.is_empty());
+        let bytes = caption.to_bytes();
+        let back = Caption::from_bytes(&bytes).unwrap();
+        assert_eq!(back, caption);
+    }
+
+    #[test]
+    fn caption_is_tiny_compared_to_cloud() {
+        let cap = make_captioner(3);
+        let cloud = body_like_cloud(20_000, 4);
+        let caption = cap.caption(&cloud);
+        let bytes = caption.to_bytes();
+        let raw_cloud = cloud.len() * 12;
+        assert!(
+            bytes.len() * 50 < raw_cloud,
+            "caption {} B vs cloud {} B",
+            bytes.len(),
+            raw_cloud
+        );
+    }
+
+    #[test]
+    fn text_rendering_has_one_word_per_token() {
+        let cap = make_captioner(5);
+        let cloud = body_like_cloud(1000, 6);
+        let caption = cap.caption(&cloud);
+        let text = caption.as_text();
+        assert_eq!(text.split_whitespace().count(), caption.len());
+    }
+
+    #[test]
+    fn identical_clouds_identical_captions() {
+        let cap = make_captioner(7);
+        let cloud = body_like_cloud(2000, 8);
+        assert_eq!(cap.caption(&cloud), cap.caption(&cloud));
+    }
+
+    #[test]
+    fn corrupt_bytes_error() {
+        assert!(Caption::from_bytes(&[1, 2, 3]).is_err() || Caption::from_bytes(&[1, 2, 3]).is_ok());
+        // Specifically: a valid LZMA stream with truncated caption body.
+        let raw = lzma_compress(&[5]); // claims 5 tokens, no data
+        assert!(Caption::from_bytes(&raw).is_err());
+    }
+
+    #[test]
+    fn empty_cloud_empty_caption() {
+        let cap = make_captioner(9);
+        let caption = cap.caption(&[]);
+        assert!(caption.is_empty());
+        let back = Caption::from_bytes(&caption.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

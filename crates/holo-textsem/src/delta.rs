@@ -1,0 +1,188 @@
+//! Temporal delta coding of captions (§3.3).
+//!
+//! "For the first frame, we encode the information of the entire point
+//! cloud into text-based semantics. For subsequent frames, we can encode
+//! only the differences from the preceding frame." The delta coder sends
+//! set/remove operations for cells whose token changed; receivers apply
+//! them to their running caption state.
+
+use crate::caption::Caption;
+use holo_compress::lzma::{lzma_compress, lzma_decompress};
+use holo_compress::primitives::{read_varint, write_varint};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One delta operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Set (insert or update) a cell's token.
+    Set(u32, u16),
+    /// Remove a cell.
+    Remove(u32),
+}
+
+/// Stateful delta encoder/decoder.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaCoder {
+    state: BTreeMap<u32, u16>,
+}
+
+impl DeltaCoder {
+    /// Fresh coder with empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current caption state.
+    pub fn current(&self) -> Caption {
+        Caption { tokens: self.state.iter().map(|(&c, &t)| (c, t)).collect() }
+    }
+
+    /// Diff the new caption against the internal state, advance the
+    /// state, and return the operations.
+    pub fn encode(&mut self, new: &Caption) -> Vec<DeltaOp> {
+        let new_map: BTreeMap<u32, u16> = new.tokens.iter().copied().collect();
+        let mut ops = Vec::new();
+        for (&cell, &tok) in &new_map {
+            match self.state.get(&cell) {
+                Some(&old) if old == tok => {}
+                _ => ops.push(DeltaOp::Set(cell, tok)),
+            }
+        }
+        for &cell in self.state.keys() {
+            if !new_map.contains_key(&cell) {
+                ops.push(DeltaOp::Remove(cell));
+            }
+        }
+        self.state = new_map;
+        ops
+    }
+
+    /// Apply received operations to the internal state.
+    pub fn apply(&mut self, ops: &[DeltaOp]) {
+        for op in ops {
+            match *op {
+                DeltaOp::Set(cell, tok) => {
+                    self.state.insert(cell, tok);
+                }
+                DeltaOp::Remove(cell) => {
+                    self.state.remove(&cell);
+                }
+            }
+        }
+    }
+
+    /// Serialize operations for the wire (varint + LZMA).
+    pub fn ops_to_bytes(ops: &[DeltaOp]) -> Vec<u8> {
+        let mut raw = Vec::new();
+        write_varint(&mut raw, ops.len() as u32);
+        for op in ops {
+            match *op {
+                DeltaOp::Set(cell, tok) => {
+                    write_varint(&mut raw, cell << 1);
+                    write_varint(&mut raw, tok as u32);
+                }
+                DeltaOp::Remove(cell) => {
+                    write_varint(&mut raw, (cell << 1) | 1);
+                }
+            }
+        }
+        lzma_compress(&raw)
+    }
+
+    /// Parse [`DeltaCoder::ops_to_bytes`].
+    pub fn ops_from_bytes(data: &[u8]) -> Result<Vec<DeltaOp>, String> {
+        let raw = lzma_decompress(data)?;
+        let (count, mut pos) = read_varint(&raw).ok_or("truncated delta header")?;
+        let mut ops = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (tag, used) = read_varint(&raw[pos..]).ok_or("truncated delta op")?;
+            pos += used;
+            let cell = tag >> 1;
+            if tag & 1 == 1 {
+                ops.push(DeltaOp::Remove(cell));
+            } else {
+                let (tok, used) = read_varint(&raw[pos..]).ok_or("truncated delta token")?;
+                pos += used;
+                if tok > u16::MAX as u32 {
+                    return Err("token out of range".into());
+                }
+                ops.push(DeltaOp::Set(cell, tok as u16));
+            }
+        }
+        Ok(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caption(pairs: &[(u32, u16)]) -> Caption {
+        Caption { tokens: pairs.to_vec() }
+    }
+
+    #[test]
+    fn first_frame_is_full() {
+        let mut enc = DeltaCoder::new();
+        let c = caption(&[(1, 10), (5, 20), (9, 30)]);
+        let ops = enc.encode(&c);
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|o| matches!(o, DeltaOp::Set(_, _))));
+    }
+
+    #[test]
+    fn unchanged_frame_emits_nothing() {
+        let mut enc = DeltaCoder::new();
+        let c = caption(&[(1, 10), (5, 20)]);
+        enc.encode(&c);
+        assert!(enc.encode(&c).is_empty());
+    }
+
+    #[test]
+    fn sender_receiver_stay_in_sync() {
+        let mut enc = DeltaCoder::new();
+        let mut dec = DeltaCoder::new();
+        let frames = [
+            caption(&[(1, 10), (5, 20), (9, 30)]),
+            caption(&[(1, 10), (5, 21), (9, 30)]),          // token change
+            caption(&[(1, 10), (9, 30), (12, 7)]),          // remove + add
+            caption(&[]),                                    // all gone
+            caption(&[(2, 2)]),
+        ];
+        for f in &frames {
+            let ops = enc.encode(f);
+            let bytes = DeltaCoder::ops_to_bytes(&ops);
+            let decoded_ops = DeltaCoder::ops_from_bytes(&bytes).unwrap();
+            assert_eq!(decoded_ops, ops);
+            dec.apply(&decoded_ops);
+            assert_eq!(&dec.current(), f, "receiver diverged");
+        }
+    }
+
+    #[test]
+    fn delta_smaller_than_full_for_small_changes() {
+        let mut enc = DeltaCoder::new();
+        let base: Vec<(u32, u16)> = (0..300).map(|i| (i * 3, (i % 50) as u16)).collect();
+        let c0 = caption(&base);
+        let full_bytes = DeltaCoder::ops_to_bytes(&enc.encode(&c0));
+        // Change 5 cells.
+        let mut changed = base.clone();
+        for c in changed.iter_mut().take(5) {
+            c.1 += 1;
+        }
+        let delta_bytes = DeltaCoder::ops_to_bytes(&enc.encode(&caption(&changed)));
+        assert!(
+            delta_bytes.len() * 5 < full_bytes.len(),
+            "delta {} vs full {}",
+            delta_bytes.len(),
+            full_bytes.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_delta_errors() {
+        let raw = lzma_compress(&[10]); // claims 10 ops, no payload
+        assert!(DeltaCoder::ops_from_bytes(&raw).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Text-based semantics (§3.3).
+//!
+//! The paper's third semantic type translates 3D content into text and
+//! back using dense-captioning and text-to-3D generative models. Those
+//! models are not available offline, so this crate builds the closest
+//! structural equivalent: a learned discrete *code* — text in the
+//! information-theoretic sense. A vector-quantized codebook is trained
+//! (k-means) over per-cell geometric features; the "captioner" maps a
+//! point cloud to a sequence of tokens (one per occupied cell), and the
+//! "text-to-3D" decoder regenerates a point cloud from tokens alone. The
+//! substitution preserves exactly what §3.3's systems questions depend
+//! on: tiny discrete payloads, lossy reconstruction, a reconstruction
+//! cost, cell partitioning (with its loss of global structure), temporal
+//! delta coding, and the two-step global+local channel design.
+//!
+//! - [`cells`] — uniform cell partitions and per-cell features.
+//! - [`vq`] — k-means codebook training and quantization.
+//! - [`caption`] — cloud -> token caption -> bytes (and a readable
+//!   pseudo-word rendering).
+//! - [`decode`] — tokens -> point cloud.
+//! - [`delta`] — frame-to-frame token deltas (§3.3's inter-frame coding).
+//! - [`channels`] — the two-step global + local channel codec.
+
+pub mod caption;
+pub mod cells;
+pub mod channels;
+pub mod decode;
+pub mod delta;
+pub mod vq;
+
+pub use caption::{Caption, Captioner};
+pub use cells::{CellFeature, CellPartition};
+pub use channels::GlobalLocalCodec;
+pub use decode::TextToCloud;
+pub use delta::{DeltaCoder, DeltaOp};
+pub use vq::Codebook;

@@ -1,0 +1,47 @@
+//! Conference capacity: how many holographic participants fit on a
+//! 25 Mbps U.S. broadband link, per semantics type?
+//!
+//! Run with: `cargo run --release --example conference_capacity`
+
+use semholo::conference::conference_capacity;
+use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::text::{TextConfig, TextPipeline};
+use semholo::traditional::{MeshWire, TraditionalPipeline};
+use semholo::{SceneSource, SemHoloConfig, SemanticPipeline};
+
+fn main() {
+    let config = SemHoloConfig {
+        capture_resolution: (64, 48),
+        camera_count: 3,
+        ..Default::default()
+    };
+    let scene = SceneSource::new(&config, 0.4);
+    let broadband = 25e6;
+
+    let mut pipelines: Vec<(&str, Box<dyn SemanticPipeline>)> = vec![
+        ("traditional raw mesh", Box::new(TraditionalPipeline::new(MeshWire::Raw, 14))),
+        ("traditional compressed", Box::new(TraditionalPipeline::new(MeshWire::Compressed, 14))),
+        (
+            "keypoint semantics",
+            Box::new(KeypointPipeline::new(KeypointConfig { resolution: 64, ..Default::default() }, 42)),
+        ),
+        ("text semantics", Box::new(TextPipeline::new(TextConfig::default(), 42))),
+    ];
+
+    println!("conference capacity on a 25 Mbps access link (SFU: 1 upload + N-1 downloads)\n");
+    println!("{:>24} {:>14} {:>22}", "pipeline", "stream", "max participants");
+    for (name, p) in &mut pipelines {
+        // Warm up stateful pipelines.
+        let _ = p.encode(&scene.frame(0));
+        let report = conference_capacity(p.as_mut(), &scene, 6, 4, broadband).expect("capacity");
+        println!(
+            "{:>24} {:>9.2} Mbps {:>22}",
+            name,
+            report.stream_bps / 1e6,
+            report.max_participants
+        );
+    }
+    println!();
+    println!("the paper's argument, quantified: semantic streams turn a 2-person");
+    println!("mesh call into a room of dozens on the same U.S. broadband line.");
+}

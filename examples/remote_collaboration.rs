@@ -1,0 +1,76 @@
+//! Remote collaboration over constrained broadband — the paper's
+//! motivating telepresence scenario.
+//!
+//! Two sites hold a meeting over a 25 Mbps link (the U.S. broadband
+//! standard the paper cites). We run the same session three ways —
+//! traditional raw mesh, traditional compressed mesh, and keypoint
+//! semantics — and print the session reports side by side: delivery
+//! ratio, bandwidth, end-to-end latency against the 100 ms budget, and
+//! QoE.
+//!
+//! Run with: `cargo run --release --example remote_collaboration`
+
+use holo_net::trace::BandwidthTrace;
+use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::session::{Session, SessionConfig};
+use semholo::traditional::{MeshWire, TraditionalPipeline};
+use semholo::{qoe_score, QoeWeights, SceneSource, SemHoloConfig, SemanticPipeline};
+
+fn run(name: &str, pipeline: &mut dyn SemanticPipeline, scene: &SceneSource, frames: usize) {
+    let mut session = Session::new(SessionConfig {
+        trace: BandwidthTrace::us_broadband(7),
+        quality_every: 5,
+        ..Default::default()
+    });
+    let report = session.run(pipeline, scene, frames).expect("session");
+    let qoe = qoe_score(&report, &QoeWeights::default());
+    println!("--- {name} ---");
+    println!(
+        "  delivered {}/{} frames | mean payload {:.1} KB | required bandwidth {:.2} Mbps",
+        report.delivered,
+        report.frames.len(),
+        report.payload.mean() / 1024.0,
+        report.required_bps / 1e6
+    );
+    if report.e2e_ms.count() > 0 {
+        println!(
+            "  e2e latency: mean {:.0} ms, p95 {:.0} ms | within 100 ms budget: {:.0}%",
+            report.e2e_ms.mean(),
+            report.e2e_ms.percentile(95.0).unwrap_or(f64::NAN),
+            report.within_100ms() * 100.0
+        );
+    }
+    println!(
+        "  sustainable pipeline rate: {:.2} FPS | quality: {} | QoE score {qoe:.2}",
+        report.sustainable_fps,
+        report
+            .mean_chamfer
+            .map(|c| format!("{:.1} mm chamfer", c * 1000.0))
+            .unwrap_or_else(|| "-".into()),
+    );
+}
+
+fn main() {
+    let config = SemHoloConfig {
+        capture_resolution: (64, 48),
+        camera_count: 3,
+        ..Default::default()
+    };
+    println!("remote collaboration over 25 Mbps broadband, 30 FPS, 20-frame meeting slice\n");
+    let scene = SceneSource::new(&config, 1.0);
+    let frames = 20;
+
+    let mut raw = TraditionalPipeline::new(MeshWire::Raw, 14);
+    run("traditional, raw mesh (paper: 95 Mbps class)", &mut raw, &scene, frames);
+
+    let mut compressed = TraditionalPipeline::new(MeshWire::Compressed, 14);
+    run("traditional, Draco-class compression (paper: 10 Mbps class)", &mut compressed, &scene, frames);
+
+    let mut keypoints =
+        KeypointPipeline::new(KeypointConfig { resolution: 128, ..Default::default() }, 42);
+    run("SemHolo keypoint semantics (paper: 0.3 Mbps class)", &mut keypoints, &scene, frames);
+
+    println!();
+    println!("the trade the paper documents: keypoints fit in a sliver of the link,");
+    println!("but the receiver-side reconstruction becomes the bottleneck (<1-3 FPS).");
+}

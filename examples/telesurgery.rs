@@ -1,0 +1,67 @@
+//! Telesurgery: latency-critical telepresence with a foveated hybrid.
+//!
+//! The paper names telesurgery as a headline use case of live holographic
+//! communication — the regime where the 100 ms end-to-end budget is
+//! non-negotiable and the surgeon's gaze concentrates on a small working
+//! region. That is exactly the profile the §3.1 foveated hybrid targets:
+//! ship the true mesh only where the surgeon looks, keypoints elsewhere.
+//!
+//! This example sweeps the foveal radius over an LTE-like variable link
+//! and shows the bandwidth/quality/latency triangle, with saccade
+//! landing prediction keeping the fovea ahead of the surgeon's eye.
+//!
+//! Run with: `cargo run --release --example telesurgery`
+
+use holo_net::trace::BandwidthTrace;
+use semholo::foveated::{FoveatedConfig, FoveatedPipeline};
+use semholo::session::{Session, SessionConfig};
+use semholo::{SceneSource, SemHoloConfig};
+
+fn main() {
+    let config = SemHoloConfig {
+        capture_resolution: (64, 48),
+        camera_count: 3,
+        ..Default::default()
+    };
+    let scene = SceneSource::new(&config, 1.0);
+    let frames = 12;
+
+    println!("telesurgery scenario: foveated hybrid over a variable LTE-like link\n");
+    println!(
+        "{:>12} {:>14} {:>12} {:>16} {:>18}",
+        "fovea(deg)", "payload(KB)", "bw(Mbps)", "delivered", "foveal chamfer"
+    );
+    for radius in [6.0f32, 12.0, 20.0, 30.0] {
+        let mut pipeline = FoveatedPipeline::new(
+            FoveatedConfig {
+                foveal_radius_deg: radius,
+                peripheral_resolution: 48,
+                predict_saccades: true,
+                ..Default::default()
+            },
+            2.0,
+            42,
+        );
+        let mut session = Session::new(SessionConfig {
+            trace: BandwidthTrace::lte(3),
+            quality_every: 4,
+            ..Default::default()
+        });
+        let report = session.run(&mut pipeline, &scene, frames).expect("session");
+        println!(
+            "{:>12.0} {:>14.1} {:>12.2} {:>13}/{:<2} {:>15}",
+            radius,
+            report.payload.mean() / 1024.0,
+            report.required_bps / 1e6,
+            report.delivered,
+            report.frames.len(),
+            report
+                .mean_chamfer
+                .map(|c| format!("{:.1} mm", c * 1000.0))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!();
+    println!("larger foveae buy quality where the surgeon looks at the cost of bandwidth;");
+    println!("the periphery rides on 1.6 KB keypoint frames either way (paper ablation A).");
+}

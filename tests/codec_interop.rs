@@ -1,0 +1,117 @@
+//! Codec interop: the compression substrate against real content from
+//! the body/scene substrates, plus adversarial robustness.
+
+use holo_body::params::{PosePayload, SmplxParams};
+use holo_body::{MotionKind, MotionSynthesizer};
+use holo_compress::lzma::{lzma_compress, lzma_decompress};
+use holo_compress::meshcodec::{decode_mesh, encode_mesh, MeshCodecConfig};
+use holo_compress::texture::{Texture, TextureCodec};
+use holo_math::Pcg32;
+use proptest::prelude::*;
+
+#[test]
+fn lzma_roundtrips_a_whole_motion_clip() {
+    let mut synth = MotionSynthesizer::new(5);
+    for kind in [MotionKind::Idle, MotionKind::Talking, MotionKind::Waving, MotionKind::Walking] {
+        let clip = synth.clip(kind, 1.0, 30.0);
+        for frame in &clip.frames {
+            let payload = PosePayload::new(frame.clone(), vec![]).to_bytes();
+            let compressed = lzma_compress(&payload);
+            assert_eq!(lzma_decompress(&compressed).unwrap(), payload, "{kind:?}");
+        }
+    }
+}
+
+#[test]
+fn mesh_codec_roundtrips_posed_bodies_across_a_clip() {
+    let model = holo_body::BodyModel::standard();
+    let mut synth = MotionSynthesizer::new(7);
+    let clip = synth.clip(MotionKind::Walking, 0.3, 10.0);
+    for frame in &clip.frames {
+        let mesh = model.pose_mesh(frame);
+        let encoded = encode_mesh(&mesh, &MeshCodecConfig::default());
+        let decoded = decode_mesh(&encoded).unwrap();
+        assert_eq!(decoded.face_count(), mesh.face_count());
+        // Draco-class ratio on every frame, not just one.
+        let ratio = mesh.raw_size_bytes() as f64 / encoded.len() as f64;
+        assert!(ratio > 5.0, "frame ratio {ratio:.1}");
+    }
+}
+
+#[test]
+fn pose_payload_parse_never_panics_on_corruption() {
+    let mut rng = Pcg32::new(1);
+    let payload = PosePayload::new(SmplxParams::default(), vec![]).to_bytes();
+    for _ in 0..500 {
+        let mut corrupted = payload.clone();
+        for _ in 0..rng.range_u32(8) + 1 {
+            let i = rng.index(corrupted.len());
+            corrupted[i] = rng.next_u32() as u8;
+        }
+        let _ = PosePayload::from_bytes(&corrupted);
+    }
+}
+
+#[test]
+fn texture_codec_on_rendered_captures() {
+    // Compress actual render output (not just synthetic patterns).
+    use holo_capture::camera::{Camera, CameraIntrinsics};
+    use holo_capture::noise::DepthNoiseModel;
+    use holo_capture::render::{render_rgbd, ShadingConfig};
+    use holo_mesh::sdf::SdfSphere;
+
+    let sdf = SdfSphere { center: holo_math::Vec3::new(0.0, 1.0, 0.0), radius: 0.5 };
+    let cam = Camera::look_at(
+        CameraIntrinsics::from_fov(64, 64, 1.0),
+        holo_math::Vec3::new(0.0, 1.0, 2.0),
+        holo_math::Vec3::new(0.0, 1.0, 0.0),
+    );
+    let mut rng = Pcg32::new(2);
+    let frame = render_rgbd(&sdf, &cam, &DepthNoiseModel::none(), &ShadingConfig::default(), &mut rng);
+    let compressed = TextureCodec::compress(&frame.color);
+    let decompressed = TextureCodec::decompress(&compressed).unwrap();
+    assert!(frame.color.psnr(&decompressed) > 25.0);
+    assert_eq!(compressed.len(), TextureCodec::compressed_size(64, 64));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lzma_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let c = lzma_compress(&data);
+        prop_assert_eq!(lzma_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzma_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lzma_decompress(&data);
+    }
+
+    #[test]
+    fn mesh_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_mesh(&data);
+    }
+
+    #[test]
+    fn texture_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = TextureCodec::decompress(&data);
+    }
+
+    #[test]
+    fn texture_roundtrip_arbitrary_images(
+        w in 1u32..40,
+        h in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::new(seed);
+        let mut tex = Texture::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                tex.set(x, y, [rng.next_u32() as u8, rng.next_u32() as u8, rng.next_u32() as u8]);
+            }
+        }
+        let d = TextureCodec::decompress(&TextureCodec::compress(&tex)).unwrap();
+        prop_assert_eq!((d.width, d.height), (w, h));
+    }
+}

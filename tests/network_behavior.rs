@@ -1,0 +1,114 @@
+//! Network-facing integration: pipelines under realistic link regimes.
+
+use holo_net::link::LinkConfig;
+use holo_net::trace::BandwidthTrace;
+use semholo::image::{ImageConfig, ImagePipeline};
+use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::session::{Session, SessionConfig};
+use semholo::traditional::{MeshWire, TraditionalPipeline};
+use semholo::{SceneSource, SemHoloConfig, SemanticPipeline};
+use std::time::Duration;
+
+fn scene() -> SceneSource {
+    let config = SemHoloConfig {
+        capture_resolution: (48, 36),
+        camera_count: 2,
+        ..Default::default()
+    };
+    SceneSource::new(&config, 0.6)
+}
+
+fn session_with(bps: f64) -> Session {
+    Session::new(SessionConfig {
+        trace: BandwidthTrace::Constant { bps },
+        link: LinkConfig { max_queue_delay: Duration::from_millis(150), ..Default::default() },
+        ..Default::default()
+    })
+}
+
+#[test]
+fn keypoints_survive_a_1mbps_link_raw_mesh_does_not() {
+    let scene = scene();
+    let mut kp = KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 1);
+    let mut raw = TraditionalPipeline::new(MeshWire::Raw, 14);
+    let kp_report = session_with(1e6).run(&mut kp, &scene, 8).unwrap();
+    let raw_report = session_with(1e6).run(&mut raw, &scene, 8).unwrap();
+    assert_eq!(kp_report.delivered, 8, "keypoints must fit 1 Mbps");
+    assert!(
+        raw_report.delivered < 4,
+        "raw meshes cannot fit 1 Mbps at 30 FPS (delivered {})",
+        raw_report.delivered
+    );
+}
+
+#[test]
+fn network_latency_grows_as_link_shrinks() {
+    let scene = scene();
+    let mean_net = |bps: f64| {
+        let mut trad = TraditionalPipeline::new(MeshWire::Compressed, 14);
+        let report = session_with(bps).run(&mut trad, &scene, 5).unwrap();
+        let delivered: Vec<f64> = report
+            .frames
+            .iter()
+            .filter(|f| f.delivered)
+            .map(|f| f.network_ms)
+            .collect();
+        delivered.iter().sum::<f64>() / delivered.len().max(1) as f64
+    };
+    let fast = mean_net(200e6);
+    let slow = mean_net(15e6);
+    assert!(slow > fast * 1.5, "fast {fast:.1} ms vs slow {slow:.1} ms");
+}
+
+#[test]
+fn image_pipeline_adapts_resolution_to_bandwidth() {
+    let scene = scene();
+    let mut p = ImagePipeline::new(
+        ImageConfig { pretrain_steps: 40, finetune_steps: 3, ..Default::default() },
+        2,
+    );
+    // Starved link: lowest rung.
+    p.set_bandwidth_hint(100e3);
+    let frame = scene.frame(0);
+    let small = p.encode(&frame).unwrap().payload.len();
+    // Fat link: top rung.
+    p.set_bandwidth_hint(1e9);
+    let large = p.encode(&scene.frame(1)).unwrap().payload.len();
+    assert!(large > small * 2, "ABR must change payload size: {small} -> {large}");
+}
+
+#[test]
+fn lossy_link_retransmission_recovers_keypoint_frames() {
+    let scene = scene();
+    let mut kp = KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 3);
+    let mut session = Session::new(SessionConfig {
+        trace: BandwidthTrace::Constant { bps: 50e6 },
+        link: LinkConfig { loss_rate: 0.08, ..Default::default() },
+        ..Default::default()
+    });
+    let report = session.run(&mut kp, &scene, 12).unwrap();
+    // Single-packet frames with one retransmission round: ~99%+ delivery.
+    assert!(report.delivered >= 11, "delivered {}/12", report.delivered);
+}
+
+#[test]
+fn lte_trace_produces_variable_latency() {
+    let scene = scene();
+    let mut trad = TraditionalPipeline::new(MeshWire::Compressed, 14);
+    // Short dwell so the 10-frame window crosses several channel states.
+    let mut session = Session::new(SessionConfig {
+        trace: BandwidthTrace::Lte { states: vec![3e6, 10e6, 30e6, 60e6], dwell_s: 0.1, seed: 9 },
+        ..Default::default()
+    });
+    let report = session.run(&mut trad, &scene, 10).unwrap();
+    let delivered: Vec<f64> = report
+        .frames
+        .iter()
+        .filter(|f| f.delivered)
+        .map(|f| f.network_ms)
+        .collect();
+    assert!(delivered.len() >= 5);
+    let min = delivered.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = delivered.iter().cloned().fold(0.0, f64::max);
+    assert!(max > min * 1.3, "LTE latency should vary: {min:.1}..{max:.1} ms");
+}
