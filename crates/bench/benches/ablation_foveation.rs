@@ -10,7 +10,8 @@
 //! foveal radius and toggles prediction, reporting bandwidth and
 //! true-gaze foveal quality.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bandwidth_at_30fps, bench_scene, mbps, report, report_header};
 use semholo::foveated::{FoveatedConfig, FoveatedPipeline};
 use semholo::{Content, SemanticPipeline};
@@ -131,5 +132,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

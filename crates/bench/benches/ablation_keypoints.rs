@@ -11,7 +11,8 @@
 //! through both reconstruction modes and additionally measures temporal
 //! jitter (frame-to-frame surface motion with a static true pose).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bench_scene, report, report_header};
 use holo_body::landmarks::StandardLandmarks;
 use holo_keypoints::detector::DetectorKind;
@@ -118,5 +119,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

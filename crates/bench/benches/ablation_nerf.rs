@@ -6,7 +6,8 @@
 //! (2) slimmable sub-networks trade reconstruction quality for speed so
 //! the model width can follow the delivered image resolution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{report, report_header};
 use holo_capture::camera::{Camera, CameraIntrinsics};
 use holo_capture::noise::DepthNoiseModel;
@@ -121,5 +122,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

@@ -6,7 +6,8 @@
 //! encoding prevents "the potential loss of global information, such as
 //! the overall body pose, caused by the segmentation of human models".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bench_scene, report, report_header};
 use semholo::text::{TextConfig, TextPipeline};
 use semholo::{Content, SemanticPipeline};
@@ -87,5 +88,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

@@ -17,7 +17,8 @@
 //!   resolutions at the cloth-detail floor, the "folds never recovered"
 //!   result.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bench_scene, report, report_header};
 use holo_body::surface::{BodySdf, SurfaceDetail};
 use holo_body::{Joint, Skeleton};
@@ -117,5 +118,5 @@ fn fig2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig2);
-criterion_main!(benches);
+bench_group!(benches, fig2);
+bench_main!(benches);

@@ -9,7 +9,8 @@
 //! scenario (open mouth + pout), reconstruct it through the learned
 //! (low-pass) model, and measure per-component and geometric error.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bench_scene, report, report_header};
 use holo_body::expression::ExpressionBasis;
 use holo_body::params::EXPRESSION_DIM;
@@ -113,5 +114,5 @@ fn fig3(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig3);
-criterion_main!(benches);
+bench_group!(benches, fig3);
+bench_main!(benches);

@@ -10,7 +10,8 @@
 //! *modeled* FPS of an X-Avatar-class neural implicit on the paper's
 //! devices from the roofline cost model (calibration in `holo-gpu`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bench_scene, report, report_header};
 use holo_gpu::workloads::reconstruction_workload;
 use holo_gpu::Device;
@@ -77,5 +78,5 @@ fn fig4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig4);
-criterion_main!(benches);
+bench_group!(benches, fig4);
+bench_main!(benches);

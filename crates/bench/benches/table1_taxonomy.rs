@@ -7,7 +7,8 @@
 //! frame and reports the measured quantities behind those grades, then
 //! re-derives the letter grades from the measurements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bandwidth_at_30fps, bench_scene, mbps, report, report_header};
 use holo_gpu::Device;
 use semholo::image::{ImageConfig, ImagePipeline};
@@ -119,5 +120,5 @@ fn table1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, table1);
-criterion_main!(benches);
+bench_group!(benches, table1);
+bench_main!(benches);

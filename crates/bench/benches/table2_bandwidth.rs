@@ -5,7 +5,8 @@
 //! per frame); traditional 95.4 / 10.1 Mbps (raw / Draco, 397.7 KB /
 //! 42.1 KB per frame) — savings of ~207x raw and ~34x compressed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bandwidth_at_30fps, bench_scene, mbps, report, report_header};
 use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::meshcodec::{decode_mesh, encode_mesh, MeshCodecConfig};
@@ -125,5 +126,5 @@ against per-frame mesh delivery.",
     group.finish();
 }
 
-criterion_group!(benches, table2);
-criterion_main!(benches);
+bench_group!(benches, table2);
+bench_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Every bench regenerates one table or figure of the paper: it prints
 //! the same rows/series the paper reports (via [`report`]) and then
-//! criterion-times the operation the experiment measures. Scene setup is
+//! harness-times the operation the experiment measures. Scene setup is
 //! shared here so every bench observes the same participant.
 
 use semholo::{SceneSource, SemHoloConfig};
@@ -19,7 +19,7 @@ pub fn bench_scene(seconds: f32) -> SceneSource {
     SceneSource::new(&config, seconds)
 }
 
-/// Print a report line that survives criterion's output (stderr, tagged).
+/// Print a report line that survives the harness output (stderr, tagged).
 pub fn report(line: &str) {
     eprintln!("[paper] {line}");
 }

@@ -12,10 +12,9 @@
 use crate::error::Result;
 use crate::scene::SceneSource;
 use crate::semantics::SemanticPipeline;
-use serde::{Deserialize, Serialize};
 
 /// Result of a conference capacity analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConferenceReport {
     /// Participants simulated.
     pub participants: usize,

@@ -3,10 +3,9 @@
 use holo_body::motion::MotionKind;
 use holo_capture::camera::CameraIntrinsics;
 use holo_capture::rig::RigConfig;
-use serde::{Deserialize, Serialize};
 
 /// Top-level configuration shared by pipelines and sessions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SemHoloConfig {
     /// Capture/display frame rate.
     pub fps: f32,

@@ -17,7 +17,7 @@
 use crate::error::{Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 use holo_body::params::PosePayload;
 use holo_body::skeleton::Skeleton;
 use holo_body::surface::{BodySdf, SurfaceDetail};

@@ -11,7 +11,7 @@
 use crate::error::{Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 use holo_capture::camera::{Camera, CameraIntrinsics};
 use holo_capture::noise::DepthNoiseModel;
 use holo_capture::render::{render_rgbd, ShadingConfig};

@@ -11,7 +11,7 @@
 use crate::error::{Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{mesh_quality, Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 use holo_body::landmarks::{LandmarkSet, StandardLandmarks};
 use holo_body::params::{PosePayload, SmplxParams, EXPRESSION_DIM, PAYLOAD_KEYPOINTS};
 use holo_body::skeleton::{Skeleton, JOINT_COUNT};

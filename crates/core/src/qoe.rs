@@ -9,10 +9,9 @@
 //! compared on one axis.
 
 use crate::session::SessionReport;
-use serde::{Deserialize, Serialize};
 
 /// Component weights (sum need not be 1; the score normalizes).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QoeWeights {
     /// Weight of visual quality.
     pub quality: f64,

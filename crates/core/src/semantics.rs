@@ -2,17 +2,16 @@
 
 use crate::error::Result;
 use crate::scene::SceneFrame;
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 use holo_compress::texture::Texture;
 use holo_gpu::Workload;
 use holo_mesh::metrics::compare_meshes;
 use holo_mesh::pointcloud::PointCloud;
 use holo_mesh::trimesh::TriMesh;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// The paper's taxonomy (Table 1) plus the traditional baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SemanticKind {
     /// Keypoint-based semantics (§3.1): ~1.91 KB/frame.
     Keypoint,
@@ -100,7 +99,7 @@ pub struct Reconstructed {
 
 /// Visual-quality measurements against ground truth. Fields are `None`
 /// when the metric does not apply to the pipeline's output format.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QualityReport {
     /// Symmetric Chamfer distance vs ground-truth surface, meters.
     pub chamfer: Option<f32>,

@@ -17,7 +17,6 @@ use holo_net::link::{Link, LinkConfig};
 use holo_net::time::SimTime;
 use holo_net::trace::BandwidthTrace;
 use holo_net::transport::{FrameTransport, LossPolicy};
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Session parameters.
@@ -53,7 +52,7 @@ impl Default for SessionConfig {
 }
 
 /// Per-frame outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrameReport {
     /// Frame index.
     pub index: usize,

@@ -11,7 +11,7 @@
 use crate::error::{Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{cloud_quality, Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 use holo_compress::primitives::{read_varint, write_varint};
 use holo_gpu::Workload;
 use holo_math::Pcg32;

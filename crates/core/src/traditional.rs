@@ -9,7 +9,7 @@
 use crate::error::{Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{mesh_quality, Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 use holo_compress::meshcodec::{decode_mesh, encode_mesh, MeshCodecConfig};
 use std::time::Instant;
 

@@ -11,11 +11,10 @@
 
 use crate::params::EXPRESSION_DIM;
 use holo_math::{Quat, Vec3};
-use serde::Serialize;
 
 /// One expression blendshape: a smooth radial bump applied to the face
 /// surface, positioned relative to the head joint frame.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExpressionComponent {
     /// Human-readable name ("jaw_open", "pout", ...).
     pub name: &'static str,
@@ -30,7 +29,7 @@ pub struct ExpressionComponent {
 }
 
 /// The full expression basis.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExpressionBasis {
     /// Exactly [`EXPRESSION_DIM`] components.
     pub components: Vec<ExpressionComponent>,

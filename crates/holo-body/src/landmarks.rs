@@ -9,10 +9,9 @@
 
 use crate::skeleton::{Joint, PosedSkeleton, JOINT_COUNT, PARENTS};
 use holo_math::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// Preset landmark densities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StandardLandmarks {
     /// 25 body joints only (no fingers) — the cheapest detector output.
     Sparse25,

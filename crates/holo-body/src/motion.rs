@@ -12,10 +12,9 @@
 use crate::params::{SmplxParams, EXPRESSION_DIM};
 use crate::skeleton::Joint;
 use holo_math::{Pcg32, Quat, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// The kind of activity to synthesize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MotionKind {
     /// Standing still with subtle sway and breathing.
     Idle,

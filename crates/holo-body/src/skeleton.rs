@@ -10,14 +10,13 @@
 
 use crate::params::{SmplxParams, SHAPE_DIM};
 use holo_math::{Mat4, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Number of joints in the kinematic tree (SMPL-X layout).
 pub const JOINT_COUNT: usize = 55;
 
 /// Joint identifiers, matching the SMPL-X ordering convention: body first,
 /// then left-hand fingers, then right-hand fingers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Joint {
     Pelvis = 0,

@@ -1,10 +1,9 @@
 //! Pinhole camera model with intrinsics and extrinsics.
 
 use holo_math::{Mat4, Ray, Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Pinhole intrinsics (pixel units).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CameraIntrinsics {
     /// Image width in pixels.
     pub width: u32,

@@ -6,10 +6,9 @@
 //! and fusion operate on realistically imperfect data.
 
 use holo_math::{Pcg32, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Kinect-class axial noise + dropout model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DepthNoiseModel {
     /// Constant axial noise floor, meters (Kinect v2: ~1.5 mm).
     pub sigma_base: f32,

@@ -11,10 +11,9 @@ use crate::noise::DepthNoiseModel;
 use holo_compress::texture::Texture;
 use holo_math::{Pcg32, Vec3};
 use holo_mesh::sdf::Sdf;
-use serde::{Deserialize, Serialize};
 
 /// A depth map; `0.0` marks missing/no-hit pixels.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DepthImage {
     /// Width in pixels.
     pub width: u32,

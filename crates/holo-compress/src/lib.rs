@@ -21,7 +21,7 @@
 //!   streams (connectivity once, closed-loop position deltas after), the
 //!   Draco-animation-class upgrade of the traditional baseline.
 //!
-//! All codecs are deterministic and round-trip tested (proptest).
+//! All codecs are deterministic and round-trip tested (holo_prop!).
 
 pub mod lzma;
 pub mod temporal;

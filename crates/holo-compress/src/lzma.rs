@@ -195,7 +195,8 @@ pub fn lzma_decompress(input: &[u8]) -> Result<Vec<u8>, String> {
 mod tests {
     use super::*;
     use holo_math::Pcg32;
-    use proptest::prelude::*;
+    use holo_runtime::check::{any, collection};
+    use holo_runtime::holo_prop;
 
     fn roundtrip(data: &[u8]) {
         let c = lzma_compress(data);
@@ -289,16 +290,14 @@ mod tests {
         let _ = lzma_decompress(&[0xFF, 0xFF, 0x03, 1, 2, 3]);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    holo_prop! {
+        #![cases(64)]
 
-        #[test]
-        fn proptest_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        fn prop_roundtrip(data in collection::vec(any::<u8>(), 0..4096)) {
             roundtrip(&data);
         }
 
-        #[test]
-        fn proptest_roundtrip_structured(
+        fn prop_roundtrip_structured(
             seed in any::<u64>(),
             n in 1usize..2000,
             period in 1usize..32,

@@ -9,10 +9,9 @@
 //! the ASTC/DXT codecs MR headsets use in hardware.
 
 use holo_math::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A simple RGB8 image.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Texture {
     /// Width in pixels.
     pub width: u32,

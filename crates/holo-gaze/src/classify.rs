@@ -7,10 +7,9 @@
 //! suppress tracker noise.
 
 use crate::trace::GazeSample;
-use serde::{Deserialize, Serialize};
 
 /// Movement class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GazeClass {
     /// Eye nearly stationary (< pursuit threshold).
     Fixation,
@@ -32,7 +31,7 @@ impl GazeClass {
 }
 
 /// Velocity-threshold classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IvtClassifier {
     /// Below this angular speed (deg/s): fixation.
     pub fixation_max: f32,

@@ -8,10 +8,9 @@
 //! knob behind ablation A's bandwidth/quality trade-off.
 
 use holo_math::{Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A gaze-centered angular partition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FoveationMap {
     /// Gaze direction in screen angle space, degrees.
     pub gaze: Vec2,

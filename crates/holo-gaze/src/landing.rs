@@ -13,10 +13,9 @@ use holo_math::Vec2;
 /// Sampling-bias correction applied to the observed peak velocity (see
 /// [`SaccadePredictor::predict`]); calibrated on synthetic traces.
 pub const VELOCITY_CORRECTION: f32 = 1.08;
-use serde::{Deserialize, Serialize};
 
 /// Predicts the landing point of an in-flight saccade.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SaccadePredictor {
     onset: Option<(f32, Vec2)>,
     peak_velocity: f32,

@@ -8,10 +8,9 @@
 //! field; positions are 2D (azimuth, elevation).
 
 use holo_math::{Pcg32, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// One gaze sample.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GazeSample {
     /// Time, seconds.
     pub t: f32,
@@ -27,7 +26,7 @@ pub const CLASS_PURSUIT: u8 = 1;
 pub const CLASS_SACCADE: u8 = 2;
 
 /// Synthesizer configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GazeTraceConfig {
     /// Sampling rate, Hz (eye trackers: 90-240).
     pub sample_rate: f32,

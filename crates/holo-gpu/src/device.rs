@@ -1,10 +1,9 @@
 //! Device descriptions and the roofline execution model.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// A compute device (GPU or SoC) described by its roofline parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Device {
     /// Human-readable name.
     pub name: String,
@@ -21,7 +20,7 @@ pub struct Device {
 }
 
 /// Why a workload cannot run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// Working set exceeds device memory: `(required, available)` bytes.
     OutOfMemory { required: u64, available: u64 },
@@ -43,7 +42,7 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// A kernel or kernel sequence's resource demands.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Workload {
     /// Floating-point operations.
     pub flops: f64,

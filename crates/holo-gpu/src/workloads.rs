@@ -14,7 +14,6 @@
 //! run resolutions 512 and 1024.
 
 use crate::device::Workload;
-use serde::{Deserialize, Serialize};
 
 /// Near-surface MLP queries per squared resolution unit.
 pub const QUERIES_PER_R2: f64 = 1350.0;
@@ -28,7 +27,7 @@ pub const BYTES_PER_VOXEL: u64 = 32;
 pub const FRAMEWORK_BYTES: u64 = 5 * (1u64 << 30);
 
 /// The modeled X-Avatar-class reconstruction workload at a resolution.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReconstructionWorkload {
     /// Marching-cubes resolution.
     pub resolution: u32,

@@ -17,10 +17,9 @@
 
 use holo_capture::noise::DepthNoiseModel;
 use holo_math::{Pcg32, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Which detector family to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DetectorKind {
     /// Direct 3D extraction from RGB-D (fast, balanced error).
     RgbdDirect,

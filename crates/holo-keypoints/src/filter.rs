@@ -7,17 +7,16 @@
 //! per keypoint.
 
 use holo_math::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// One-Euro filter state for a scalar channel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct OneEuroChannel {
     x_prev: Option<f32>,
     dx_prev: f32,
 }
 
 /// One-Euro filter for 3D points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OneEuroFilter {
     /// Minimum cutoff frequency, Hz (lower = smoother at rest).
     pub min_cutoff: f32,
@@ -82,7 +81,7 @@ impl OneEuroFilter {
 
 /// Constant-velocity Kalman filter for one 3D keypoint. Each axis is an
 /// independent (position, velocity) state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KalmanFilter3 {
     /// Process noise (acceleration) standard deviation, m/s^2.
     pub process_sigma: f32,

@@ -1,13 +1,12 @@
 //! Axis-aligned bounding boxes.
 
 use crate::vec::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned bounding box defined by its min/max corners.
 ///
 /// The "empty" box has `min > max` component-wise so that growing it with
 /// the first point initializes both corners.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     pub min: Vec3,
     pub max: Vec3,

@@ -7,17 +7,16 @@
 
 use crate::quat::Quat;
 use crate::vec::{Vec3, Vec4};
-use serde::{Deserialize, Serialize};
 use std::ops::Mul;
 
 /// 3x3 matrix, row-major.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat3 {
     pub rows: [Vec3; 3],
 }
 
 /// 4x4 matrix, row-major.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat4 {
     pub rows: [Vec4; 4],
 }

@@ -7,11 +7,10 @@
 
 use crate::vec::Vec3;
 use crate::Mat3;
-use serde::{Deserialize, Serialize};
 use std::ops::Mul;
 
 /// A rotation quaternion `w + xi + yj + zk`, kept approximately unit-length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[repr(C)]
 pub struct Quat {
     pub x: f32,

@@ -3,10 +3,9 @@
 
 use crate::aabb::Aabb;
 use crate::vec::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A half-line `origin + t * dir`, `t >= 0`, with `dir` unit length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ray {
     pub origin: Vec3,
     pub dir: Vec3,

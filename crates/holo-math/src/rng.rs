@@ -6,10 +6,9 @@
 //! PCG-XSH-RR 64/32 (O'Neill 2014) is small, fast, and statistically solid
 //! for simulation purposes.
 
-use serde::{Deserialize, Serialize};
 
 /// PCG-XSH-RR 64/32 generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pcg32 {
     state: u64,
     inc: u64,

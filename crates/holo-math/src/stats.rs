@@ -4,11 +4,10 @@
 //! (latency, payload size, quality) into [`Summary`] values using Welford's
 //! online algorithm, then report mean / stddev / min / max / percentiles.
 
-use serde::{Deserialize, Serialize};
 
 /// Online accumulator of count, mean, variance, min, max, and (optionally)
 /// exact percentiles via a retained sample buffer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -4,11 +4,10 @@
 //! formats by reading their fields in order; the compression crate relies on
 //! this for the pose payload layout.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A 2-component `f32` vector (image coordinates, UVs, gaze positions).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[repr(C)]
 pub struct Vec2 {
     pub x: f32,
@@ -16,7 +15,7 @@ pub struct Vec2 {
 }
 
 /// A 3-component `f32` vector (positions, directions, colors).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[repr(C)]
 pub struct Vec3 {
     pub x: f32,
@@ -25,7 +24,7 @@ pub struct Vec3 {
 }
 
 /// A 4-component `f32` vector (homogeneous coordinates, RGBA).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[repr(C)]
 pub struct Vec4 {
     pub x: f32,

@@ -9,10 +9,9 @@
 use crate::grid::PointGrid;
 use crate::trimesh::TriMesh;
 use holo_math::{Pcg32, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Bundle of mesh-vs-mesh quality metrics.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MeshQuality {
     /// Symmetric Chamfer distance (mean of the two directed means), meters.
     pub chamfer: f32,

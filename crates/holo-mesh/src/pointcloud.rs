@@ -2,11 +2,10 @@
 //! text-semantics reconstruction target.
 
 use holo_math::{Aabb, Mat4, Vec3};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A point cloud with optional per-point colors.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PointCloud {
     /// Point positions.
     pub points: Vec<Vec3>,

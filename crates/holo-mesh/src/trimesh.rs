@@ -1,14 +1,13 @@
 //! Indexed triangle meshes.
 
 use holo_math::{Aabb, Mat4, Pcg32, Vec3};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An indexed triangle mesh: a vertex buffer plus a face index buffer.
 ///
 /// Optional per-vertex normals and RGB colors ride alongside; when present
 /// their length equals `vertices.len()`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TriMesh {
     /// Vertex positions.
     pub vertices: Vec<Vec3>,

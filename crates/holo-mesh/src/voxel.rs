@@ -5,10 +5,9 @@
 //! VRAM at `R >= 512` in Fig. 4).
 
 use holo_math::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A dense boolean occupancy grid over an axis-aligned region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VoxelGrid {
     /// Grid dimensions (nx, ny, nz).
     pub dims: (u32, u32, u32),

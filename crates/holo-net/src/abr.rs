@@ -6,10 +6,9 @@
 //! rung whose bitrate fits the predicted bandwidth with a safety margin,
 //! with upward hysteresis to avoid oscillation.
 
-use serde::{Deserialize, Serialize};
 
 /// One quality level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LadderRung {
     /// Image side length, pixels (square views).
     pub resolution: u32,
@@ -21,7 +20,7 @@ pub struct LadderRung {
 }
 
 /// An ordered set of quality levels (ascending bitrate).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ladder {
     /// Rungs sorted by ascending bitrate.
     pub rungs: Vec<LadderRung>,
@@ -56,7 +55,7 @@ impl Ladder {
 }
 
 /// Hysteretic ladder controller.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AbrController {
     /// The ladder.
     pub ladder: Ladder,

@@ -8,7 +8,7 @@
 //! every experiment that involves "the Internet" replays exactly.
 //!
 //! - [`time`] — virtual clock ([`SimTime`]), microsecond resolution.
-//! - [`packet`] — packets carrying [`bytes::Bytes`] payloads.
+//! - [`packet`] — packets carrying [`holo_runtime::bytes::Bytes`] payloads.
 //! - [`link`] — a bottleneck link: serialization at the (time-varying)
 //!   trace rate, propagation delay, jitter, tail-drop queue, random loss.
 //! - [`trace`] — bandwidth traces: constant, stepped, broadband (25 Mbps

@@ -9,11 +9,10 @@
 use crate::time::SimTime;
 use crate::trace::BandwidthTrace;
 use holo_math::Pcg32;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Link parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// One-way propagation delay.
     pub propagation: Duration,

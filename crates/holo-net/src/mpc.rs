@@ -10,10 +10,9 @@
 //! a frozen hologram.
 
 use crate::abr::{Ladder, LadderRung};
-use serde::{Deserialize, Serialize};
 
 /// QoE objective weights for the planner.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MpcObjective {
     /// Reward per unit log-bitrate (diminishing returns on quality).
     pub quality: f64,

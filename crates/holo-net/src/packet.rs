@@ -1,7 +1,7 @@
 //! Packets.
 
 use crate::time::SimTime;
-use bytes::Bytes;
+use holo_runtime::bytes::Bytes;
 
 /// A packet in flight. Payload is reference-counted ([`Bytes`]) so
 /// fragmentation never copies frame data.

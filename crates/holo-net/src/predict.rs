@@ -5,7 +5,6 @@
 //! average and the harmonic mean of recent samples (robust to outliers;
 //! the choice of MPC-style ABR systems).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A bandwidth predictor fed with throughput samples (bps).
@@ -19,7 +18,7 @@ pub trait BandwidthPredictor {
 }
 
 /// Exponentially weighted moving average.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EwmaPredictor {
     /// Smoothing factor in (0, 1]; higher reacts faster.
     pub alpha: f64,
@@ -51,7 +50,7 @@ impl BandwidthPredictor for EwmaPredictor {
 }
 
 /// Harmonic mean of the last N samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HarmonicMeanPredictor {
     /// Window length.
     pub window: usize,

@@ -8,10 +8,9 @@
 //! fast fading, the volatile regime rate adaptation must survive.
 
 use holo_math::Pcg32;
-use serde::{Deserialize, Serialize};
 
 /// A time-varying capacity, bits per second.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum BandwidthTrace {
     /// Fixed capacity.
     Constant {

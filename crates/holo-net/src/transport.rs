@@ -9,15 +9,14 @@
 use crate::link::{Delivery, Link};
 use crate::packet::Packet;
 use crate::time::SimTime;
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use holo_runtime::bytes::Bytes;
 use std::time::Duration;
 
 /// Payload bytes per packet (1500 MTU minus headers).
 pub const MTU_PAYLOAD: usize = 1460;
 
 /// Loss-handling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LossPolicy {
     /// Live streaming: incomplete frames are dropped.
     DropFrame,
@@ -26,7 +25,7 @@ pub enum LossPolicy {
 }
 
 /// Result of sending one frame.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FrameResult {
     /// Frame id.
     pub frame_id: u64,
@@ -53,7 +52,7 @@ pub struct FrameSender {
 
 /// Receiver-side statistics (reassembly bookkeeping happens inline in
 /// [`FrameTransport::send_frame`] since the simulation is synchronous).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct FrameReceiver {
     /// Completed frame count.
     pub frames_complete: u64,

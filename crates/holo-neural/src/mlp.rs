@@ -1,10 +1,9 @@
 //! Dense networks with manual backprop, Adam, and slimmable widths.
 
 use holo_math::Pcg32;
-use serde::{Deserialize, Serialize};
 
 /// A dense layer `y = W x + b`, row-major weights (`out x in`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     /// Input dimension.
     pub in_dim: usize,
@@ -78,7 +77,7 @@ impl Linear {
 
 /// A multilayer perceptron with ReLU hidden activations and linear
 /// output, supporting slimmable hidden widths.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     /// Layers in order.
     pub layers: Vec<Linear>,
@@ -205,7 +204,7 @@ impl Mlp {
 }
 
 /// Adam optimizer over an MLP's parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f32,

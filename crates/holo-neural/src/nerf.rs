@@ -11,10 +11,9 @@
 use crate::mlp::{Activations, Mlp};
 use crate::posenc::PositionalEncoding;
 use holo_math::{Pcg32, Ray, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A NeRF-style field: positional encoding + MLP -> (rgb, density).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NerfField {
     /// Input encoding.
     pub encoding: PositionalEncoding,
@@ -84,7 +83,7 @@ impl NerfField {
 }
 
 /// Alpha-compositing volume renderer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VolumeRenderer {
     /// Samples per ray.
     pub samples: usize,

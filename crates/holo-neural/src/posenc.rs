@@ -6,10 +6,9 @@
 //! sin(2^(L-1) pi p), cos(2^(L-1) pi p)]` per component.
 
 use holo_math::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A positional encoding of 3D points with `levels` octaves.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PositionalEncoding {
     /// Number of frequency octaves `L`.
     pub levels: u32,

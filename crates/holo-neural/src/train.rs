@@ -11,7 +11,6 @@ use crate::nerf::{NerfField, VolumeRenderer};
 use holo_capture::camera::Camera;
 use holo_compress::texture::Texture;
 use holo_math::{Pcg32, Ray, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A supervised ray: origin/direction plus target color.
 #[derive(Debug, Clone, Copy)]
@@ -63,7 +62,7 @@ impl RayDataset {
 }
 
 /// Training hyperparameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
     /// Optimization steps.
     pub steps: usize,
@@ -83,7 +82,7 @@ impl Default for TrainConfig {
 }
 
 /// Statistics from one training run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrainStats {
     /// Steps executed.
     pub steps: usize,

@@ -1,0 +1,21 @@
+//! Zero-dependency runtime substrate for the SemHolo workspace.
+//!
+//! Everything the workspace previously pulled from crates.io lives here,
+//! so a cold-cache `cargo build --offline` succeeds with no network:
+//!
+//! - [`bytes`] — cheap-clone, Arc-backed byte buffers compatible with
+//!   the `bytes` crate surface the workspace uses (`Bytes`, `BytesMut`,
+//!   `slice`, `freeze`, `put_*`/`get_*`).
+//! - [`check`] — a deterministic property-testing mini-framework:
+//!   seeded shrinking generators driven by the [`holo_prop!`] macro.
+//!   Override the base seed with the `HOLO_PROP_SEED` env var.
+//! - [`bench`] — a criterion-compatible micro-bench harness (warmup,
+//!   per-sample timing, median/p95) that writes `BENCH_<name>.json` at
+//!   the repo root for the perf trajectory.
+//! - [`ser`] — a minimal derive-free JSON emitter ([`ser::ToJson`]) and
+//!   parser, used for bench reports and structured test assertions.
+
+pub mod bench;
+pub mod bytes;
+pub mod check;
+pub mod ser;

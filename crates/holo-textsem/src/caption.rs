@@ -5,10 +5,9 @@ use crate::vq::Codebook;
 use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::primitives::{read_varint, write_varint};
 use holo_math::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A frame caption: one token per occupied cell, in ascending cell order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Caption {
     /// `(cell index, token)` pairs, ascending by cell.
     pub tokens: Vec<(u32, u16)>,
@@ -83,7 +82,7 @@ impl Caption {
 }
 
 /// The captioner: partition + codebook.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Captioner {
     /// Cell partition.
     pub partition: CellPartition,

@@ -1,7 +1,6 @@
 //! Cell partitions and per-cell geometric features.
 
 use holo_math::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dimensionality of a cell feature vector.
@@ -10,11 +9,11 @@ pub const FEATURE_DIM: usize = 7;
 /// Per-cell geometric summary: normalized point count, centroid offset
 /// from the cell center (in cell units), and per-axis extent (in cell
 /// units). This is what the captioner quantizes into a token.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellFeature(pub [f32; FEATURE_DIM]);
 
 /// A uniform grid partition over a fixed body-volume bounding box.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellPartition {
     /// Partitioned region.
     pub bounds: Aabb,

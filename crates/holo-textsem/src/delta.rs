@@ -9,11 +9,10 @@
 use crate::caption::Caption;
 use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::primitives::{read_varint, write_varint};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One delta operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeltaOp {
     /// Set (insert or update) a cell's token.
     Set(u32, u16),

@@ -2,11 +2,10 @@
 
 use crate::cells::{CellFeature, FEATURE_DIM};
 use holo_math::Pcg32;
-use serde::{Deserialize, Serialize};
 
 /// A k-means codebook over cell features. Token ids are indices into the
 /// codebook; the token sequence is the "text".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Codebook {
     /// Cluster centers.
     pub centers: Vec<[f32; FEATURE_DIM]>,

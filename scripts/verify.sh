@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify for the SemHolo reproduction.
+#
+# The workspace is hermetic: every dependency is an in-tree crate (see
+# crates/holo-runtime), so everything below runs from a cold cargo
+# cache with no network. --offline makes any accidental reintroduction
+# of a registry dependency fail loudly instead of hanging on a fetch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo bench -q --offline -- --quick"
+cargo bench -q --offline --workspace -- --quick
+
+echo "==> bench reports:"
+ls -1 BENCH_*.json
+
+echo "verify: OK"

@@ -7,7 +7,8 @@ use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::meshcodec::{decode_mesh, encode_mesh, MeshCodecConfig};
 use holo_compress::texture::{Texture, TextureCodec};
 use holo_math::Pcg32;
-use proptest::prelude::*;
+use holo_runtime::check::{any, collection};
+use holo_runtime::{holo_prop, prop_assert_eq};
 
 #[test]
 fn lzma_roundtrips_a_whole_motion_clip() {
@@ -74,31 +75,26 @@ fn texture_codec_on_rendered_captures() {
     assert_eq!(compressed.len(), TextureCodec::compressed_size(64, 64));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+holo_prop! {
+    #![cases(32)]
 
-    #[test]
-    fn lzma_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+    fn lzma_roundtrip_arbitrary(data in collection::vec(any::<u8>(), 0..2048)) {
         let c = lzma_compress(&data);
         prop_assert_eq!(lzma_decompress(&c).unwrap(), data);
     }
 
-    #[test]
-    fn lzma_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn lzma_decompress_never_panics(data in collection::vec(any::<u8>(), 0..512)) {
         let _ = lzma_decompress(&data);
     }
 
-    #[test]
-    fn mesh_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn mesh_decode_never_panics(data in collection::vec(any::<u8>(), 0..512)) {
         let _ = decode_mesh(&data);
     }
 
-    #[test]
-    fn texture_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn texture_decompress_never_panics(data in collection::vec(any::<u8>(), 0..512)) {
         let _ = TextureCodec::decompress(&data);
     }
 
-    #[test]
     fn texture_roundtrip_arbitrary_images(
         w in 1u32..40,
         h in 1u32..40,

@@ -4,7 +4,8 @@
 use holo_body::params::{PosePayload, SmplxParams};
 use holo_body::skeleton::{Skeleton, JOINT_COUNT};
 use holo_math::{Pcg32, Quat, Vec3};
-use proptest::prelude::*;
+use holo_runtime::check::{any, collection};
+use holo_runtime::{holo_prop, prop_assert, prop_assert_eq, prop_assume};
 
 /// Strategy: a plausible random pose from a seed.
 fn pose(seed: u64) -> SmplxParams {
@@ -12,11 +13,10 @@ fn pose(seed: u64) -> SmplxParams {
     SmplxParams::random_plausible(&mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+holo_prop! {
+    #![cases(48)]
 
     /// FK must preserve bone lengths for any pose: rotations are rigid.
-    #[test]
     fn fk_preserves_bone_lengths(seed in any::<u64>()) {
         let sk = Skeleton::neutral();
         let rest = sk.rest_positions();
@@ -35,7 +35,6 @@ proptest! {
 
     /// Pose wire format: serialize-parse is the identity on joint
     /// positions (the quantity that matters downstream), for any pose.
-    #[test]
     fn pose_payload_roundtrip_preserves_fk(seed in any::<u64>()) {
         let sk = Skeleton::neutral();
         let p = pose(seed);
@@ -50,7 +49,6 @@ proptest! {
 
     /// Quaternion axis-angle double roundtrip is stable (no drift), for
     /// any rotation magnitude below 2 pi.
-    #[test]
     fn axis_angle_roundtrip_stable(x in -3.0f32..3.0, y in -3.0f32..3.0, z in -3.0f32..3.0) {
         let v = Vec3::new(x, y, z);
         prop_assume!(v.length() < std::f32::consts::TAU - 0.1);
@@ -62,7 +60,6 @@ proptest! {
 
     /// The LZMA codec is the identity composed with itself for pose
     /// payloads carrying arbitrary keypoints.
-    #[test]
     fn lzma_identity_on_payloads(seed in any::<u64>(), n_kp in 0usize..120) {
         let mut rng = Pcg32::new(seed);
         let kps: Vec<Vec3> = (0..n_kp)
@@ -75,7 +72,6 @@ proptest! {
 
     /// Mesh codec: face count invariant and bounded vertex error for
     /// random closed surfaces (spheres of random placement/size).
-    #[test]
     fn mesh_codec_face_invariant(
         cx in -2.0f32..2.0,
         cy in -2.0f32..2.0,
@@ -97,7 +93,6 @@ proptest! {
     }
 
     /// Gaze classification output length always matches input length.
-    #[test]
     fn gaze_classify_total(seed in any::<u64>(), secs in 1u32..8) {
         let mut synth = holo_gaze::trace::GazeSynthesizer::new(
             holo_gaze::trace::GazeTraceConfig::default(),
@@ -110,7 +105,6 @@ proptest! {
 
     /// Network transport conservation: every offered frame is either
     /// complete or counted dropped; wire bytes at least payload bytes.
-    #[test]
     fn transport_accounting(seed in any::<u64>(), n in 1usize..30, size in 1usize..20_000) {
         use holo_net::link::{Link, LinkConfig};
         use holo_net::trace::BandwidthTrace;
@@ -125,7 +119,7 @@ proptest! {
         let mut complete = 0u64;
         for i in 0..n {
             let r = t.send_frame(
-                bytes::Bytes::from(vec![0u8; size]),
+                holo_runtime::bytes::Bytes::from(vec![0u8; size]),
                 holo_net::SimTime::from_millis(i as u64 * 33),
             );
             if r.complete {
@@ -142,8 +136,7 @@ proptest! {
     }
 
     /// Streaming summary statistics agree with direct computation.
-    #[test]
-    fn summary_matches_direct(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    fn summary_matches_direct(values in collection::vec(-1e6f64..1e6, 1..200)) {
         let mut s = holo_math::Summary::new();
         for &v in &values {
             s.record(v);
@@ -155,7 +148,7 @@ proptest! {
     }
 }
 
-/// Non-proptest cross-crate invariant: the capture rig's fused cloud is
+/// Non-property cross-crate invariant: the capture rig's fused cloud is
 /// always inside the (expanded) body bounds for arbitrary clip frames.
 #[test]
 fn fused_clouds_stay_inside_body_bounds() {
