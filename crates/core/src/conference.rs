@@ -28,6 +28,92 @@ pub struct ConferenceReport {
     pub max_participants: usize,
 }
 
+/// Closed-form room capacity: the largest N such that one upload plus
+/// N-1 downloads of `stream_bps` fit on `access_bps` (SFU topology).
+/// Returns 0 when even the single upload saturates the link, and
+/// `usize::MAX` for a free stream.
+pub fn closed_form_max_participants(stream_bps: f64, access_bps: f64) -> usize {
+    if stream_bps <= 0.0 {
+        return usize::MAX;
+    }
+    if stream_bps > access_bps {
+        // The upload alone does not fit: the room holds nobody.
+        return 0;
+    }
+    ((access_bps - stream_bps) / stream_bps).floor().max(0.0) as usize + 1
+}
+
+/// Simulation-backed room capacity: the largest N in `[2, cap]` for
+/// which the caller's oracle reports that an N-person room still meets
+/// its quality bar. The oracle runs a real (virtual-time) room
+/// simulation — `holo-conf` provides one — so the answer reflects
+/// queueing, loss coupling, and per-subscriber adaptation that the
+/// closed-form mean-bandwidth bound cannot see. Assumes `fits` is
+/// monotone in N (a bigger room never fits when a smaller one failed);
+/// probes by doubling, then bisects. Returns 1 when even a 2-person
+/// room fails (you can always sit alone), and `cap` when every probed
+/// size fits.
+pub fn simulated_max_participants(cap: usize, mut fits: impl FnMut(usize) -> bool) -> usize {
+    let cap = cap.max(2);
+    if !fits(2) {
+        return 1;
+    }
+    // Doubling phase: find the first failing size.
+    let mut lo = 2usize; // largest known-fitting size
+    let mut hi = None; // smallest known-failing size
+    let mut probe = 4usize;
+    while probe < cap {
+        if fits(probe) {
+            lo = probe;
+            probe *= 2;
+        } else {
+            hi = Some(probe);
+            break;
+        }
+    }
+    let mut hi = match hi {
+        Some(h) => h,
+        None => {
+            if fits(cap) {
+                return cap;
+            }
+            cap
+        }
+    };
+    // Bisection on [lo, hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The closed-form bound next to the simulated measurement, with the
+/// gap the mean-bandwidth arithmetic leaves on the table.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityComparison {
+    /// The closed-form bound from mean stream bandwidth.
+    pub closed_form: usize,
+    /// The empirically measured max room size.
+    pub simulated: usize,
+    /// `simulated as f64 / closed_form as f64` (1.0 when both are 0).
+    pub ratio: f64,
+}
+
+/// Compare the closed-form bound against a simulated measurement.
+pub fn compare_capacity(closed_form: usize, simulated: usize) -> CapacityComparison {
+    let ratio = if closed_form == 0 {
+        if simulated == 0 { 1.0 } else { f64::INFINITY }
+    } else {
+        simulated as f64 / closed_form as f64
+    };
+    CapacityComparison { closed_form, simulated, ratio }
+}
+
 /// Measure a pipeline's mean stream bandwidth over `frames` frames of a
 /// scene and derive conference capacity on an access link of
 /// `access_bps` (SFU model: one upload, N-1 downloads per participant).
@@ -51,11 +137,7 @@ pub fn conference_capacity(
     let download_bps = stream_bps * participants.saturating_sub(1) as f64;
     let fits = stream_bps + download_bps <= access_bps;
     // Capacity: upload + (N-1) downloads <= access.
-    let max_participants = if stream_bps <= 0.0 {
-        usize::MAX
-    } else {
-        ((access_bps - stream_bps) / stream_bps).floor().max(0.0) as usize + 1
-    };
+    let max_participants = closed_form_max_participants(stream_bps, access_bps);
     Ok(ConferenceReport {
         participants,
         stream_bps,
@@ -119,6 +201,49 @@ mod tests {
         let mut raw = TraditionalPipeline::new(MeshWire::Raw, 14);
         let cap = conference_capacity(&mut raw, &scene, 2, 3, 25e6).unwrap();
         assert!(!cap.fits, "raw mesh 3-way call cannot fit 25 Mbps");
-        assert_eq!(cap.max_participants, 1, "raw mesh fits nobody else");
+        // The raw mesh upload alone exceeds 25 Mbps: the room holds
+        // nobody, not one person (regression for the old `.max(0)+1`
+        // formula that could never report 0).
+        assert!(cap.stream_bps > 25e6, "premise: raw mesh stream saturates the link");
+        assert_eq!(cap.max_participants, 0, "saturating upload means capacity 0");
+    }
+
+    #[test]
+    fn closed_form_edge_cases() {
+        // Stream wider than the access link: 0, not 1.
+        assert_eq!(closed_form_max_participants(30e6, 25e6), 0);
+        // Exactly the access rate: the lone uploader fits.
+        assert_eq!(closed_form_max_participants(25e6, 25e6), 1);
+        // 1 upload + 4 downloads of 5 Mbps fill 25 Mbps.
+        assert_eq!(closed_form_max_participants(5e6, 25e6), 5);
+        // A free stream has unbounded capacity.
+        assert_eq!(closed_form_max_participants(0.0, 25e6), usize::MAX);
+    }
+
+    #[test]
+    fn simulated_search_matches_oracle_threshold() {
+        // An oracle with a crisp threshold: rooms of <= 23 fit.
+        let mut probes = Vec::new();
+        let max = simulated_max_participants(256, |n| {
+            probes.push(n);
+            n <= 23
+        });
+        assert_eq!(max, 23);
+        // Logarithmic probe count, not a linear scan.
+        assert!(probes.len() <= 16, "probes {probes:?}");
+
+        assert_eq!(simulated_max_participants(256, |n| n <= 2), 2);
+        assert_eq!(simulated_max_participants(256, |_| false), 1);
+        assert_eq!(simulated_max_participants(64, |_| true), 64);
+    }
+
+    #[test]
+    fn capacity_comparison_ratio() {
+        let c = compare_capacity(200, 150);
+        assert_eq!(c.closed_form, 200);
+        assert_eq!(c.simulated, 150);
+        assert!((c.ratio - 0.75).abs() < 1e-12);
+        assert!(compare_capacity(0, 5).ratio.is_infinite());
+        assert_eq!(compare_capacity(0, 0).ratio, 1.0);
     }
 }

@@ -53,7 +53,10 @@ pub mod session;
 pub mod text;
 pub mod traditional;
 
-pub use conference::{conference_capacity, ConferenceReport};
+pub use conference::{
+    closed_form_max_participants, compare_capacity, conference_capacity,
+    simulated_max_participants, CapacityComparison, ConferenceReport,
+};
 pub use config::SemHoloConfig;
 pub use error::SemHoloError;
 pub use foveated::FoveatedPipeline;

@@ -1,0 +1,137 @@
+//! Stream frames and the keyframe/delta dependency rules.
+//!
+//! Every frame a sender uploads carries a dependency tag mirroring the
+//! temporal coders elsewhere in the workspace (`holo-compress::temporal`
+//! ships a mesh keyframe then position deltas; `holo-textsem::delta`
+//! ships a token snapshot then edit ops). A **key** frame is
+//! self-contained; a **delta** frame is decodable only on top of its
+//! predecessor. The consequence the closed-form conference math cannot
+//! see: dropping one delta poisons every following delta until the next
+//! keyframe, so loss cost is coupled across frames, per subscriber.
+
+use holo_net::time::SimTime;
+use semholo::semantics::StageCost;
+
+/// Dependency tag of one frame in a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameTag {
+    /// Self-contained: decodable in isolation.
+    Key,
+    /// Depends on the previous frame of the same stream.
+    Delta,
+}
+
+impl FrameTag {
+    /// Tag of frame `index` under a keyframe cadence of `interval`
+    /// (`interval <= 1` makes every frame a keyframe).
+    pub fn for_index(index: usize, interval: usize) -> FrameTag {
+        if interval <= 1 || index % interval == 0 {
+            FrameTag::Key
+        } else {
+            FrameTag::Delta
+        }
+    }
+
+    /// Whether this is a keyframe.
+    pub fn is_key(self) -> bool {
+        self == FrameTag::Key
+    }
+}
+
+/// One frame of one sender's uplink stream, as the SFU sees it.
+#[derive(Debug, Clone)]
+pub struct StreamFrame {
+    /// Originating participant.
+    pub sender: usize,
+    /// Frame index within the sender's stream.
+    pub index: usize,
+    /// Dependency tag.
+    pub tag: FrameTag,
+    /// Capture time at the sender.
+    pub capture: SimTime,
+    /// Encoded payload size on the wire, bytes (top quality).
+    pub payload_bytes: usize,
+    /// Sender-side extraction time, ms (already charged before upload).
+    pub extract_ms: f64,
+    /// Receiver-side reconstruction cost (charged per subscriber device).
+    pub recon: StageCost,
+}
+
+/// Walks one (subscriber, sender) stream in frame order and applies the
+/// dependency rules: a delta is usable only if the frame before it was
+/// usable; a keyframe recovers the chain.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyTracker {
+    prev_usable: bool,
+    prev_index: Option<usize>,
+}
+
+impl DependencyTracker {
+    /// Fresh chain (nothing usable yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed the next frame **in index order**; `delivered` is whether it
+    /// arrived complete. Returns whether the frame is usable.
+    pub fn advance(&mut self, index: usize, tag: FrameTag, delivered: bool) -> bool {
+        if let Some(prev) = self.prev_index {
+            debug_assert!(index > prev, "frames must be fed in order");
+        }
+        let usable = delivered
+            && match tag {
+                FrameTag::Key => true,
+                // A delta also needs its base to be the *immediately*
+                // preceding frame: a gap (frame never offered) breaks
+                // the chain exactly like a dropped base does.
+                FrameTag::Delta => self.prev_usable && self.prev_index == index.checked_sub(1),
+            };
+        self.prev_usable = usable;
+        self.prev_index = Some(index);
+        usable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_tags() {
+        assert_eq!(FrameTag::for_index(0, 5), FrameTag::Key);
+        assert_eq!(FrameTag::for_index(4, 5), FrameTag::Delta);
+        assert_eq!(FrameTag::for_index(5, 5), FrameTag::Key);
+        // interval <= 1: all keyframes.
+        assert_eq!(FrameTag::for_index(3, 1), FrameTag::Key);
+        assert_eq!(FrameTag::for_index(3, 0), FrameTag::Key);
+    }
+
+    #[test]
+    fn delta_loss_poisons_until_next_key() {
+        let mut dep = DependencyTracker::new();
+        // key, delta, delta(LOST), delta, delta, key, delta
+        assert!(dep.advance(0, FrameTag::Key, true));
+        assert!(dep.advance(1, FrameTag::Delta, true));
+        assert!(!dep.advance(2, FrameTag::Delta, false));
+        assert!(!dep.advance(3, FrameTag::Delta, true), "base was dropped");
+        assert!(!dep.advance(4, FrameTag::Delta, true), "still poisoned");
+        assert!(dep.advance(5, FrameTag::Key, true), "keyframe recovers");
+        assert!(dep.advance(6, FrameTag::Delta, true));
+    }
+
+    #[test]
+    fn lost_keyframe_poisons_following_deltas() {
+        let mut dep = DependencyTracker::new();
+        assert!(!dep.advance(0, FrameTag::Key, false));
+        assert!(!dep.advance(1, FrameTag::Delta, true));
+        assert!(dep.advance(2, FrameTag::Key, true));
+    }
+
+    #[test]
+    fn index_gap_breaks_the_chain() {
+        let mut dep = DependencyTracker::new();
+        assert!(dep.advance(0, FrameTag::Key, true));
+        // Frame 1 never offered (e.g. uplink drop): frame 2's base is gone.
+        assert!(!dep.advance(2, FrameTag::Delta, true));
+    }
+}

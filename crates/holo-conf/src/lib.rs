@@ -1,0 +1,49 @@
+//! **holo-conf** — an event-driven semantic SFU for multi-party rooms.
+//!
+//! The paper's telepresence vision is multi-party, but a closed-form
+//! mean-bandwidth bound (`core::conference`) cannot see what actually
+//! limits a room: queueing at the forwarder, per-subscriber adaptation,
+//! and the coupling between keyframe loss and every delta that depended
+//! on it. This crate simulates the whole thing in deterministic virtual
+//! time:
+//!
+//! ```text
+//!            uplink                         downlink (x N-1 each)
+//!  sender ──► Link ──► SFU ──► [egress queue | ABR thinning] ──► Link ──► subscriber
+//!  (SemanticPipeline)   │
+//!                       └── fan-out to every other participant
+//! ```
+//!
+//! - [`participant`] — per-participant uplink/downlink configs and
+//!   devices (heterogeneous rooms are the point).
+//! - [`frame`] — keyframe/delta dependency tags and the chain rules
+//!   (a delta whose base was dropped is unusable).
+//! - [`queue`] — the SFU's bounded per-subscriber egress queue with an
+//!   explicit drop policy (tail-drop or keyframe-preserving).
+//! - [`sfu`] — the forwarder: per-subscriber ports, each with its own
+//!   `AbrController` thinning the stream to the downlink's share.
+//! - [`room`] — the seeded event loop over `SimTime` driving captures,
+//!   uplinks, and fan-outs; emits a [`RoomReport`].
+//! - [`report`] — per-subscriber latency/stall/usable-rate
+//!   distributions, Jain fairness, queue occupancy; byte-identical
+//!   rendering per seed.
+//! - [`capacity`] — the empirical "how many people fit" measurement,
+//!   validated against `core::conference`'s closed-form bound.
+
+pub mod capacity;
+pub mod frame;
+pub mod participant;
+pub mod queue;
+pub mod report;
+pub mod room;
+pub mod sfu;
+
+pub use capacity::{
+    measure_max_room_size, CapacityConfig, CapacityCriteria, CapacityMeasurement, CapacityProbe,
+};
+pub use frame::{DependencyTracker, FrameTag, StreamFrame};
+pub use participant::ParticipantConfig;
+pub use queue::{DropPolicy, EgressQueue};
+pub use report::{jain_index, RoomReport, SubscriberReport};
+pub use room::{Room, RoomConfig};
+pub use sfu::{ForwardOutcome, Sfu, SubscriberPort};

@@ -1,0 +1,97 @@
+//! Per-participant access-network and device configuration.
+//!
+//! An SFU room is a star: every participant reaches the forwarder over
+//! its **own** access network — an uplink carrying one stream and a
+//! downlink carrying N-1. Heterogeneity is the point: one slow
+//! subscriber must not drag the whole room down, which is exactly what
+//! per-subscriber adaptation (and this crate) exists to show.
+
+use holo_gpu::Device;
+use holo_net::link::LinkConfig;
+use holo_net::trace::BandwidthTrace;
+use std::time::Duration;
+
+/// One participant's access links and edge device.
+#[derive(Debug, Clone)]
+pub struct ParticipantConfig {
+    /// Uplink (participant -> SFU) parameters.
+    pub uplink: LinkConfig,
+    /// Uplink capacity trace.
+    pub uplink_trace: BandwidthTrace,
+    /// Downlink (SFU -> participant) parameters.
+    pub downlink: LinkConfig,
+    /// Downlink capacity trace.
+    pub downlink_trace: BandwidthTrace,
+    /// Edge device running this participant's reconstruction.
+    pub device: Device,
+    /// Explicit uplink RNG seed (default: derived from the room seed).
+    pub uplink_seed: Option<u64>,
+    /// Explicit downlink RNG seed (default: derived from the room seed).
+    pub downlink_seed: Option<u64>,
+}
+
+impl ParticipantConfig {
+    /// A symmetric access link of `access_bps` in both directions, with
+    /// default (broadband-like) link parameters.
+    pub fn symmetric(access_bps: f64) -> Self {
+        Self {
+            uplink: LinkConfig::default(),
+            uplink_trace: BandwidthTrace::Constant { bps: access_bps },
+            downlink: LinkConfig::default(),
+            downlink_trace: BandwidthTrace::Constant { bps: access_bps },
+            device: Device::a100(),
+            uplink_seed: None,
+            downlink_seed: None,
+        }
+    }
+
+    /// An effectively ideal participant: terabit links, no propagation,
+    /// jitter, or loss. Useful for pinning one side of a room against a
+    /// reference path (the point-to-point equivalence tests).
+    pub fn ideal() -> Self {
+        let ideal_link = LinkConfig {
+            propagation: Duration::ZERO,
+            jitter_max: Duration::ZERO,
+            loss_rate: 0.0,
+            max_queue_delay: Duration::from_secs(60),
+        };
+        Self {
+            uplink: ideal_link.clone(),
+            uplink_trace: BandwidthTrace::Constant { bps: 1e12 },
+            downlink: ideal_link,
+            downlink_trace: BandwidthTrace::Constant { bps: 1e12 },
+            device: Device::a100(),
+            uplink_seed: None,
+            downlink_seed: None,
+        }
+    }
+
+    /// `n` identical symmetric participants.
+    pub fn uniform_room(n: usize, access_bps: f64) -> Vec<Self> {
+        vec![Self::symmetric(access_bps); n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_room_is_uniform() {
+        let room = ParticipantConfig::uniform_room(4, 25e6);
+        assert_eq!(room.len(), 4);
+        for p in &room {
+            match p.downlink_trace {
+                BandwidthTrace::Constant { bps } => assert_eq!(bps, 25e6),
+                _ => panic!("expected constant trace"),
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_has_no_impairments() {
+        let p = ParticipantConfig::ideal();
+        assert_eq!(p.uplink.propagation, Duration::ZERO);
+        assert_eq!(p.uplink.loss_rate, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The SFU's bounded per-subscriber egress queue.
+//!
+//! The forwarder cannot buffer arbitrarily: when a subscriber's
+//! downlink falls behind the room's aggregate frame rate, frames pile
+//! up at the SFU's egress port. The queue is bounded **in frames** and
+//! applies an explicit drop policy at admission time — this is where
+//! backpressure becomes frame loss, and (via the keyframe/delta
+//! dependency rules) where one congested moment poisons a whole
+//! delta run for that subscriber only.
+
+use holo_math::Summary;
+use holo_net::time::SimTime;
+
+/// What to drop when the egress queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Tail drop: reject any incoming frame while the queue is full.
+    TailDrop,
+    /// Reject incoming deltas at the soft bound, but admit keyframes up
+    /// to twice the bound — sacrificing deltas (which are individually
+    /// cheap to lose) to protect the frames that reset dependency
+    /// chains.
+    PreferKeyframes,
+}
+
+/// A bounded egress queue in front of one subscriber's downlink.
+///
+/// The downlink link model already serializes admitted frames in
+/// virtual time; the queue tracks how many admitted frames are still
+/// in flight (not yet fully serialized) and gates admission on that
+/// occupancy.
+#[derive(Debug, Clone)]
+pub struct EgressQueue {
+    /// Soft occupancy bound, frames.
+    pub capacity: usize,
+    /// Drop policy at the bound.
+    pub policy: DropPolicy,
+    in_flight: Vec<SimTime>,
+    /// Frames admitted to the downlink.
+    pub admitted: u64,
+    /// Delta frames rejected at admission.
+    pub dropped_deltas: u64,
+    /// Keyframes rejected at admission.
+    pub dropped_keys: u64,
+    /// Occupancy observed at each admission attempt.
+    pub occupancy: Summary,
+}
+
+impl EgressQueue {
+    /// An empty queue.
+    pub fn new(capacity: usize, policy: DropPolicy) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            policy,
+            in_flight: Vec::new(),
+            admitted: 0,
+            dropped_deltas: 0,
+            dropped_keys: 0,
+            occupancy: Summary::new(),
+        }
+    }
+
+    /// Frames still in flight at `now`.
+    pub fn occupancy_at(&mut self, now: SimTime) -> usize {
+        self.in_flight.retain(|t| *t > now);
+        self.in_flight.len()
+    }
+
+    /// Offer a frame at `now`; returns whether it may enter the
+    /// downlink. Records the occupancy sample and any drop.
+    pub fn admit(&mut self, now: SimTime, is_key: bool) -> bool {
+        let occ = self.occupancy_at(now);
+        self.occupancy.record(occ as f64);
+        let admit = if occ < self.capacity {
+            true
+        } else {
+            match self.policy {
+                DropPolicy::TailDrop => false,
+                DropPolicy::PreferKeyframes => is_key && occ < self.capacity * 2,
+            }
+        };
+        if !admit {
+            if is_key {
+                self.dropped_keys += 1;
+            } else {
+                self.dropped_deltas += 1;
+            }
+        }
+        admit
+    }
+
+    /// Record an admitted frame whose downlink serialization finishes at
+    /// `done` (the link's busy horizon after the send).
+    pub fn commit(&mut self, done: SimTime) {
+        self.admitted += 1;
+        self.in_flight.push(done);
+    }
+
+    /// Total frames rejected at admission.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_deltas + self.dropped_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn admits_until_full_then_tail_drops() {
+        let mut q = EgressQueue::new(2, DropPolicy::TailDrop);
+        assert!(q.admit(t(0), false));
+        q.commit(t(100));
+        assert!(q.admit(t(0), false));
+        q.commit(t(200));
+        // Full at t=0.
+        assert!(!q.admit(t(0), true), "tail drop rejects keys too");
+        assert_eq!(q.dropped_keys, 1);
+        // After the first frame drains, space again.
+        assert!(q.admit(t(150), false));
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn prefer_keyframes_sacrifices_deltas() {
+        let mut q = EgressQueue::new(1, DropPolicy::PreferKeyframes);
+        assert!(q.admit(t(0), false));
+        q.commit(t(100));
+        // Full: delta rejected, key admitted (soft overshoot).
+        assert!(!q.admit(t(0), false));
+        assert!(q.admit(t(0), true));
+        q.commit(t(100));
+        // At the hard bound (2x) even keys drop.
+        assert!(!q.admit(t(0), true));
+        assert_eq!(q.dropped_deltas, 1);
+        assert_eq!(q.dropped_keys, 1);
+    }
+
+    #[test]
+    fn occupancy_drains_with_time() {
+        let mut q = EgressQueue::new(8, DropPolicy::TailDrop);
+        for i in 0..5u64 {
+            assert!(q.admit(t(0), false));
+            q.commit(t(10 * (i + 1)));
+        }
+        assert_eq!(q.occupancy_at(t(0)), 5);
+        assert_eq!(q.occupancy_at(t(25)), 3);
+        assert_eq!(q.occupancy_at(t(100)), 0);
+        assert!(q.occupancy.max() >= 4.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The selective forwarding unit.
+//!
+//! The SFU receives each sender's uplink stream and forwards every
+//! frame to the other N-1 subscribers. Each subscriber owns an egress
+//! **port**: a bounded queue ([`EgressQueue`]), the subscriber's
+//! downlink, and a per-subscriber [`AbrController`] that thins the
+//! forwarded stream to a ladder rung the downlink's predicted
+//! *per-stream share* can carry — the semantic analogue of an SVC-aware
+//! SFU dropping enhancement layers, enabled by the workspace's layered
+//! codecs (slimmable NeRF widths, token channels). Slow downlinks get
+//! lower rungs; fast ones get the full stream.
+
+use crate::frame::StreamFrame;
+use crate::queue::{DropPolicy, EgressQueue};
+use holo_net::abr::{AbrController, Ladder};
+use holo_net::link::Link;
+use holo_net::predict::{BandwidthPredictor, EwmaPredictor};
+use holo_net::time::SimTime;
+use holo_net::trace::BandwidthTrace;
+use holo_net::transport::{FrameTransport, LossPolicy};
+use holo_math::Summary;
+
+/// Outcome of forwarding one frame to one subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardOutcome {
+    /// Rejected by the egress queue (backpressure drop at the SFU).
+    QueueDropped,
+    /// Admitted but lost on the subscriber's downlink.
+    DownlinkLost,
+    /// Delivered completely at the given time.
+    DeliveredAt(SimTime),
+}
+
+/// One subscriber's egress state at the SFU.
+pub struct SubscriberPort {
+    /// Downlink transport (SFU -> subscriber).
+    pub transport: FrameTransport,
+    /// Bounded egress queue.
+    pub queue: EgressQueue,
+    /// Per-subscriber rate adaptation; `None` forwards at full quality.
+    pub abr: Option<AbrController>,
+    /// Downlink bandwidth predictor feeding the controller.
+    pub predictor: EwmaPredictor,
+    /// Rung fraction (forwarded bytes / full bytes) per forward.
+    pub rung_fraction: Summary,
+}
+
+impl SubscriberPort {
+    /// Build a port over a downlink.
+    pub fn new(link: Link, policy: LossPolicy, queue: EgressQueue, abr: Option<AbrController>) -> Self {
+        Self {
+            transport: FrameTransport::new(link, policy),
+            queue,
+            abr,
+            predictor: EwmaPredictor::new(0.3),
+            rung_fraction: Summary::new(),
+        }
+    }
+
+    /// Forward one frame to this subscriber at `now`. `share` divides
+    /// the predicted downlink bandwidth among the room's streams (N-1).
+    pub fn forward(&mut self, frame: &StreamFrame, now: SimTime, share: usize) -> ForwardOutcome {
+        // Predict this stream's share of the downlink.
+        self.predictor.observe(self.transport.link.trace.bps_at(now.as_secs_f64()));
+        let per_stream_bps = self.predictor.predict() / share.max(1) as f64;
+
+        // Thin to the rung the share can carry.
+        let fraction = match &mut self.abr {
+            Some(abr) => {
+                let top = abr.ladder.top().bitrate_bps;
+                let rung = abr.decide(per_stream_bps);
+                (rung.bitrate_bps / top).clamp(0.0, 1.0)
+            }
+            None => 1.0,
+        };
+        self.rung_fraction.record(fraction);
+        let wire_bytes = ((frame.payload_bytes as f64 * fraction).round() as usize).max(32);
+
+        // Backpressure at the egress queue.
+        if !self.queue.admit(now, frame.tag.is_key()) {
+            return ForwardOutcome::QueueDropped;
+        }
+        let result = self.transport.send_frame_sized(wire_bytes, now);
+        // The frame occupies the egress port until its serialization
+        // backlog clears the link.
+        let backlog_done = now + self.transport.link.queue_delay(now);
+        self.queue.commit(backlog_done);
+        match result.completed_at {
+            Some(t) if result.complete => ForwardOutcome::DeliveredAt(t),
+            _ => ForwardOutcome::DownlinkLost,
+        }
+    }
+}
+
+/// The forwarder: one port per participant, plus room-wide counters.
+pub struct Sfu {
+    /// Egress ports, indexed by participant id.
+    pub ports: Vec<SubscriberPort>,
+    /// Frames offered for forwarding (per-subscriber fan-out counted).
+    pub forwarded: u64,
+    /// Fan-outs rejected by egress queues.
+    pub queue_dropped: u64,
+    /// Fan-outs lost on downlinks.
+    pub downlink_lost: u64,
+}
+
+impl Sfu {
+    /// Build a forwarder from per-participant downlinks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        downlinks: Vec<Link>,
+        policy: LossPolicy,
+        queue_capacity: usize,
+        drop_policy: DropPolicy,
+        ladder: Option<Ladder>,
+        abr_safety: f64,
+    ) -> Result<Self, String> {
+        let mut ports = Vec::with_capacity(downlinks.len());
+        for link in downlinks {
+            let abr = match &ladder {
+                Some(l) => Some(AbrController::new(l.clone(), abr_safety)?),
+                None => None,
+            };
+            ports.push(SubscriberPort::new(
+                link,
+                policy,
+                EgressQueue::new(queue_capacity, drop_policy),
+                abr,
+            ));
+        }
+        Ok(Self { ports, forwarded: 0, queue_dropped: 0, downlink_lost: 0 })
+    }
+
+    /// Fan one ingress frame out to every subscriber except the sender.
+    /// Returns `(subscriber, outcome)` for each forwarded copy, in
+    /// subscriber order (deterministic).
+    pub fn fan_out(&mut self, frame: &StreamFrame, now: SimTime) -> Vec<(usize, ForwardOutcome)> {
+        let n = self.ports.len();
+        let share = n.saturating_sub(1);
+        let mut outcomes = Vec::with_capacity(share);
+        for (s, port) in self.ports.iter_mut().enumerate() {
+            if s == frame.sender {
+                continue;
+            }
+            self.forwarded += 1;
+            let outcome = port.forward(frame, now, share);
+            match outcome {
+                ForwardOutcome::QueueDropped => self.queue_dropped += 1,
+                ForwardOutcome::DownlinkLost => self.downlink_lost += 1,
+                ForwardOutcome::DeliveredAt(_) => {}
+            }
+            outcomes.push((s, outcome));
+        }
+        outcomes
+    }
+
+    /// Mean egress-queue occupancy across ports (admission samples).
+    pub fn mean_queue_occupancy(&self) -> f64 {
+        let mut s = Summary::new();
+        for p in &self.ports {
+            if p.queue.occupancy.count() > 0 {
+                s.record(p.queue.occupancy.mean());
+            }
+        }
+        if s.count() == 0 { 0.0 } else { s.mean() }
+    }
+
+    /// Highest egress-queue occupancy ever observed at any port.
+    pub fn max_queue_occupancy(&self) -> f64 {
+        self.ports
+            .iter()
+            .filter(|p| p.queue.occupancy.count() > 0)
+            .map(|p| p.queue.occupancy.max())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Convenience: a constant-rate downlink.
+pub fn constant_link(config: holo_net::link::LinkConfig, bps: f64, seed: u64) -> Link {
+    Link::new(config, BandwidthTrace::Constant { bps }, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameTag;
+    use holo_net::link::LinkConfig;
+    use semholo::semantics::StageCost;
+    use std::time::Duration;
+
+    fn frame(sender: usize, index: usize, bytes: usize) -> StreamFrame {
+        StreamFrame {
+            sender,
+            index,
+            tag: FrameTag::for_index(index, 10),
+            capture: SimTime::from_millis(index as u64 * 33),
+            payload_bytes: bytes,
+            extract_ms: 1.0,
+            recon: StageCost::default(),
+        }
+    }
+
+    fn quiet_cfg() -> LinkConfig {
+        LinkConfig { jitter_max: Duration::ZERO, ..Default::default() }
+    }
+
+    #[test]
+    fn fan_out_skips_the_sender() {
+        let links = (0..3).map(|i| constant_link(quiet_cfg(), 100e6, i)).collect();
+        let mut sfu =
+            Sfu::new(links, LossPolicy::DropFrame, 8, DropPolicy::TailDrop, None, 0.8).unwrap();
+        let outcomes = sfu.fan_out(&frame(1, 0, 2000), SimTime::ZERO);
+        let subs: Vec<usize> = outcomes.iter().map(|(s, _)| *s).collect();
+        assert_eq!(subs, vec![0, 2]);
+        assert!(outcomes.iter().all(|(_, o)| matches!(o, ForwardOutcome::DeliveredAt(_))));
+        assert_eq!(sfu.forwarded, 2);
+    }
+
+    #[test]
+    fn slow_downlink_backpressure_drops_frames() {
+        // Port 1 has a 200 kbps downlink; 50 KB frames at 30 FPS bury it.
+        let links = vec![
+            constant_link(quiet_cfg(), 100e6, 1),
+            constant_link(quiet_cfg(), 200e3, 2),
+        ];
+        let mut sfu =
+            Sfu::new(links, LossPolicy::DropFrame, 2, DropPolicy::TailDrop, None, 0.8).unwrap();
+        let mut dropped = 0;
+        for i in 0..30 {
+            let f = frame(0, i, 50_000);
+            let now = SimTime::from_millis(i as u64 * 33);
+            for (_, o) in sfu.fan_out(&f, now) {
+                if o == ForwardOutcome::QueueDropped {
+                    dropped += 1;
+                }
+            }
+        }
+        assert!(dropped > 10, "queue drops {dropped}");
+        assert_eq!(sfu.queue_dropped, dropped);
+        assert!(sfu.max_queue_occupancy() >= 2.0);
+    }
+
+    #[test]
+    fn abr_thins_slow_subscriber_more() {
+        // Two subscribers: 60 Mbps vs 3 Mbps downlinks, one 6 Mbps-class
+        // stream each way. The slow one must settle on a lower rung.
+        let links = vec![
+            constant_link(quiet_cfg(), 1e9, 0), // sender's own port, unused
+            constant_link(quiet_cfg(), 60e6, 1),
+            constant_link(quiet_cfg(), 3e6, 2),
+        ];
+        let mut sfu = Sfu::new(
+            links,
+            LossPolicy::DropFrame,
+            64,
+            DropPolicy::TailDrop,
+            Some(Ladder::standard()),
+            0.9,
+        )
+        .unwrap();
+        for i in 0..40 {
+            let f = frame(0, i, 25_000); // 6 Mbps at 30 FPS
+            sfu.fan_out(&f, SimTime::from_millis(i as u64 * 33));
+        }
+        let fast = sfu.ports[1].rung_fraction.mean();
+        let slow = sfu.ports[2].rung_fraction.mean();
+        assert!(fast > slow * 2.0, "fast {fast:.3} vs slow {slow:.3}");
+    }
+}

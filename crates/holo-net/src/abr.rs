@@ -40,7 +40,10 @@ impl Ladder {
         }
     }
 
-    /// Validate monotonicity.
+    /// Validate monotonicity: bitrate, resolution, and the coupled
+    /// slimmable-network width must all strictly ascend, or the
+    /// controller's "highest rung that fits" search is meaningless (a
+    /// higher-bitrate rung could deliver a *lower* resolution).
     pub fn validate(&self) -> Result<(), String> {
         if self.rungs.is_empty() {
             return Err("ladder has no rungs".into());
@@ -49,8 +52,19 @@ impl Ladder {
             if w[1].bitrate_bps <= w[0].bitrate_bps {
                 return Err("ladder bitrates must ascend".into());
             }
+            if w[1].resolution <= w[0].resolution {
+                return Err("ladder resolutions must ascend".into());
+            }
+            if w[1].network_width <= w[0].network_width {
+                return Err("ladder network widths must ascend".into());
+            }
         }
         Ok(())
+    }
+
+    /// The top (highest-bitrate) rung.
+    pub fn top(&self) -> LadderRung {
+        *self.rungs.last().expect("validated ladders are non-empty")
     }
 }
 
@@ -68,9 +82,12 @@ pub struct AbrController {
 }
 
 impl AbrController {
-    /// Start at the lowest rung.
-    pub fn new(ladder: Ladder, safety: f64) -> Self {
-        Self { ladder, safety: safety.clamp(0.1, 1.0), up_hysteresis: 3, current: 0, up_pending: 0 }
+    /// Start at the lowest rung. Rejects ladders that fail
+    /// [`Ladder::validate`] — a controller over a non-monotone ladder
+    /// would silently make nonsensical up/down decisions.
+    pub fn new(ladder: Ladder, safety: f64) -> Result<Self, String> {
+        ladder.validate()?;
+        Ok(Self { ladder, safety: safety.clamp(0.1, 1.0), up_hysteresis: 3, current: 0, up_pending: 0 })
     }
 
     /// Current rung.
@@ -119,8 +136,30 @@ mod tests {
     }
 
     #[test]
+    fn validate_requires_all_axes_strictly_ascending() {
+        let mut rungs = Ladder::standard().rungs;
+        rungs[1].resolution = rungs[0].resolution; // bitrate still ascends
+        let bad_res = Ladder { rungs: rungs.clone() };
+        assert!(bad_res.validate().unwrap_err().contains("resolution"));
+
+        let mut rungs = Ladder::standard().rungs;
+        rungs[2].network_width = 8; // below rung 1's width
+        let bad_width = Ladder { rungs };
+        assert!(bad_width.validate().unwrap_err().contains("width"));
+    }
+
+    #[test]
+    fn controller_rejects_invalid_ladder() {
+        let mut rungs = Ladder::standard().rungs;
+        rungs.swap(0, 1);
+        assert!(AbrController::new(Ladder { rungs }, 0.8).is_err());
+        assert!(AbrController::new(Ladder { rungs: vec![] }, 0.8).is_err());
+        assert!(AbrController::new(Ladder::standard(), 0.8).is_ok());
+    }
+
+    #[test]
     fn starts_low_and_climbs_with_hysteresis() {
-        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        let mut c = AbrController::new(Ladder::standard(), 0.8).unwrap();
         assert_eq!(c.current().resolution, 128);
         // Plenty of bandwidth: climbs one rung per hysteresis window.
         let mut history = Vec::new();
@@ -134,7 +173,7 @@ mod tests {
 
     #[test]
     fn downgrades_immediately_on_congestion() {
-        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        let mut c = AbrController::new(Ladder::standard(), 0.8).unwrap();
         for _ in 0..20 {
             c.decide(100e6);
         }
@@ -146,7 +185,7 @@ mod tests {
     #[test]
     fn never_exceeds_safe_bandwidth() {
         let trace = BandwidthTrace::lte(4);
-        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        let mut c = AbrController::new(Ladder::standard(), 0.8).unwrap();
         for i in 0..300 {
             let bw = trace.bps_at(i as f64 * 0.2);
             let rung = c.decide(bw);
@@ -169,7 +208,7 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_stays_at_floor() {
-        let mut c = AbrController::new(Ladder::standard(), 0.8);
+        let mut c = AbrController::new(Ladder::standard(), 0.8).unwrap();
         assert_eq!(c.decide(0.0).resolution, 128);
     }
 }

@@ -86,9 +86,18 @@ impl FrameTransport {
     /// fate immediately (virtual time still advances correctly because the
     /// link tracks its own busy horizon).
     pub fn send_frame(&mut self, payload: Bytes, now: SimTime) -> FrameResult {
+        self.send_frame_sized(payload.len(), now)
+    }
+
+    /// Size-only variant of [`send_frame`](Self::send_frame): the link
+    /// model only consumes wire sizes, so forwarding paths that fan one
+    /// frame out to many receivers (the SFU) can account a frame without
+    /// materializing a payload buffer per receiver. Byte-for-byte
+    /// equivalent to `send_frame` on a payload of `payload_len` bytes.
+    pub fn send_frame_sized(&mut self, payload_len: usize, now: SimTime) -> FrameResult {
         let frame_id = self.sender.next_frame;
         self.sender.next_frame += 1;
-        let fragment_count = payload.len().div_ceil(MTU_PAYLOAD).max(1) as u32;
+        let fragment_count = payload_len.div_ceil(MTU_PAYLOAD).max(1) as u32;
         let mut result = FrameResult {
             frame_id,
             complete: false,
@@ -102,19 +111,12 @@ impl FrameTransport {
 
         for frag in 0..fragment_count {
             let lo = frag as usize * MTU_PAYLOAD;
-            let hi = (lo + MTU_PAYLOAD).min(payload.len());
-            let pkt = Packet {
-                seq: self.sender.next_seq,
-                frame_id,
-                fragment: frag,
-                fragment_count,
-                payload: payload.slice(lo..hi),
-                sent_at: now,
-            };
+            let hi = (lo + MTU_PAYLOAD).min(payload_len);
+            let wire_size = hi - lo + Packet::HEADER_BYTES;
             self.sender.next_seq += 1;
             result.packets_sent += 1;
-            result.wire_bytes += pkt.wire_size() as u64;
-            match self.link.transmit(pkt.wire_size(), now) {
+            result.wire_bytes += wire_size as u64;
+            match self.link.transmit(wire_size, now) {
                 Delivery::At(t) => last_arrival = last_arrival.max(t),
                 Delivery::Lost | Delivery::QueueDrop => lost_fragments.push(frag),
             }
@@ -126,7 +128,7 @@ impl FrameTransport {
             let mut still_lost = false;
             for frag in lost_fragments.drain(..) {
                 let lo = frag as usize * MTU_PAYLOAD;
-                let hi = (lo + MTU_PAYLOAD).min(payload.len());
+                let hi = (lo + MTU_PAYLOAD).min(payload_len);
                 let size = hi - lo + Packet::HEADER_BYTES;
                 result.packets_sent += 1;
                 result.wire_bytes += size as u64;
@@ -273,6 +275,24 @@ mod tests {
         assert!((bps - 489_600.0).abs() < 1000.0, "pose bps {bps}");
         // Payload-only check: 1956 * 8 * 30 = 469,440 ~ 0.46 Mbps.
         assert!((1956.0f64 * 8.0 * 30.0 / 1e6 - 0.469).abs() < 0.01);
+    }
+
+    #[test]
+    fn sized_send_matches_payload_send() {
+        // The SFU fan-out path sends sizes, not buffers; both paths must
+        // drive the link (and its RNG) identically.
+        let mut a = transport(20e6, 0.03, LossPolicy::RetransmitOnce);
+        let mut b = transport(20e6, 0.03, LossPolicy::RetransmitOnce);
+        for i in 0..50u64 {
+            let now = SimTime::from_millis(i * 7);
+            let len = (i as usize * 337) % 9000;
+            let ra = a.send_frame(Bytes::from(vec![1u8; len]), now);
+            let rb = b.send_frame_sized(len, now);
+            assert_eq!(ra.complete, rb.complete);
+            assert_eq!(ra.completed_at, rb.completed_at);
+            assert_eq!(ra.packets_sent, rb.packets_sent);
+            assert_eq!(ra.wire_bytes, rb.wire_bytes);
+        }
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! Conference capacity: how many holographic participants fit on a
 //! 25 Mbps U.S. broadband link, per semantics type?
 //!
+//! Two answers, side by side: the closed-form mean-bandwidth bound
+//! (`core::conference`) and the empirical capacity measured by the
+//! holo-conf SFU simulation, which also sees egress queueing,
+//! keyframe/delta loss coupling, and latency.
+//!
 //! Run with: `cargo run --release --example conference_capacity`
+//! (`SEMHOLO_EXAMPLE_QUICK=1` shrinks the simulated probes for CI.)
 
-use semholo::conference::conference_capacity;
+use holo_conf::{measure_max_room_size, CapacityConfig};
+use semholo::conference::{compare_capacity, conference_capacity};
 use semholo::keypoint::{KeypointConfig, KeypointPipeline};
 use semholo::text::{TextConfig, TextPipeline};
 use semholo::traditional::{MeshWire, TraditionalPipeline};
 use semholo::{SceneSource, SemHoloConfig, SemanticPipeline};
 
 fn main() {
+    let quick = std::env::var("SEMHOLO_EXAMPLE_QUICK").is_ok();
     let config = SemHoloConfig {
         capture_resolution: (64, 48),
         camera_count: 3,
@@ -18,6 +26,7 @@ fn main() {
     let scene = SceneSource::new(&config, 0.4);
     let broadband = 25e6;
 
+    // --- Closed-form: mean stream bits vs. access bits. ---
     let mut pipelines: Vec<(&str, Box<dyn SemanticPipeline>)> = vec![
         ("traditional raw mesh", Box::new(TraditionalPipeline::new(MeshWire::Raw, 14))),
         ("traditional compressed", Box::new(TraditionalPipeline::new(MeshWire::Compressed, 14))),
@@ -29,6 +38,7 @@ fn main() {
     ];
 
     println!("conference capacity on a 25 Mbps access link (SFU: 1 upload + N-1 downloads)\n");
+    println!("closed-form bound (mean bandwidth only):");
     println!("{:>24} {:>14} {:>22}", "pipeline", "stream", "max participants");
     for (name, p) in &mut pipelines {
         // Warm up stateful pipelines.
@@ -41,6 +51,41 @@ fn main() {
             report.max_participants
         );
     }
+
+    // --- Simulated: the holo-conf SFU room, grown until it breaks. ---
+    let cap_cfg = CapacityConfig {
+        frames: if quick { 3 } else { 6 },
+        access_bps: broadband,
+        cap: if quick { 16 } else { 48 },
+        ..Default::default()
+    };
+    println!();
+    println!(
+        "simulated SFU rooms (>= {:.0}% usable frames per subscriber, cap {}):",
+        cap_cfg.criteria.min_usable_rate * 100.0,
+        cap_cfg.cap
+    );
+    println!(
+        "{:>24} {:>12} {:>12} {:>12}",
+        "pipeline", "closed-form", "simulated", "gap"
+    );
+    let mut make_kp = || -> Box<dyn SemanticPipeline> {
+        Box::new(KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 42))
+    };
+    let m = measure_max_room_size(&scene, &cap_cfg, &mut make_kp).expect("simulated capacity");
+    let cmp = compare_capacity(m.closed_form, m.max_size);
+    println!(
+        "{:>24} {:>12} {:>11}{} {:>11.2}x",
+        "keypoint semantics",
+        cmp.closed_form,
+        cmp.simulated,
+        if m.capped { "+" } else { " " },
+        cmp.ratio
+    );
+    println!();
+    println!("the gap is the bound's blind spot: synchronized capture bursts pile");
+    println!("into the SFU's bounded egress queues, and every dropped delta poisons");
+    println!("the frames chained to it — none of which mean bandwidth can see.");
     println!();
     println!("the paper's argument, quantified: semantic streams turn a 2-person");
     println!("mesh call into a room of dozens on the same U.S. broadband line.");

@@ -58,7 +58,8 @@ fn main() {
     };
     println!("remote collaboration over 25 Mbps broadband, 30 FPS, 20-frame meeting slice\n");
     let scene = SceneSource::new(&config, 1.0);
-    let frames = 20;
+    // SEMHOLO_EXAMPLE_QUICK=1 trims the slice for CI smoke runs.
+    let frames = if std::env::var("SEMHOLO_EXAMPLE_QUICK").is_ok() { 6 } else { 20 };
 
     let mut raw = TraditionalPipeline::new(MeshWire::Raw, 14);
     run("traditional, raw mesh (paper: 95 Mbps class)", &mut raw, &scene, frames);

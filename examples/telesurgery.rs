@@ -24,7 +24,8 @@ fn main() {
         ..Default::default()
     };
     let scene = SceneSource::new(&config, 1.0);
-    let frames = 12;
+    // SEMHOLO_EXAMPLE_QUICK=1 trims the slice for CI smoke runs.
+    let frames = if std::env::var("SEMHOLO_EXAMPLE_QUICK").is_ok() { 5 } else { 12 };
 
     println!("telesurgery scenario: foveated hybrid over a variable LTE-like link\n");
     println!(

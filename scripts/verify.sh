@@ -14,6 +14,14 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> example smoke runs (SEMHOLO_EXAMPLE_QUICK=1)"
+for example in quickstart remote_collaboration telesurgery \
+    semantic_taxonomy_report conference_capacity; do
+  echo "--> example: ${example}"
+  SEMHOLO_EXAMPLE_QUICK=1 \
+    cargo run -q --release --offline --example "${example}" >/dev/null
+done
+
 echo "==> cargo bench -q --offline -- --quick"
 cargo bench -q --offline --workspace -- --quick
 
