@@ -87,6 +87,31 @@ fn conference_sfu(c: &mut Criterion) {
         "simulated <= closed-form: the bound ignores queueing, loss coupling, and latency.",
     );
 
+    // Observability: one traced 4-party room. The per-stage table goes
+    // into the bench report; the chrome://tracing JSON (virtual-time
+    // spans, byte-identical per seed) lands next to the BENCH JSONs.
+    {
+        let room_cfg = RoomConfig {
+            participants: ParticipantConfig::uniform_room(4, 100e6),
+            frames: if quick { 2 } else { 6 },
+            share_encoder: true,
+            ..Default::default()
+        };
+        let mut room = Room::new(room_cfg).unwrap();
+        let mut pipelines = vec![make_pipeline("keypoint")];
+        // Land next to the BENCH_*.json reports at the repo root, not in
+        // the bench package dir cargo runs us from.
+        let trace_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../TRACE_conference_room.json");
+        let (_, trace) = room
+            .run_traced(&scene, &mut pipelines, &trace_path)
+            .expect("traced room");
+        report("traced 4-party room (virtual-time spans -> TRACE_conference_room.json):");
+        for line in trace.table().lines() {
+            report(&format!("  {line}"));
+        }
+    }
+
     let mut group = c.benchmark_group("conference_sfu");
     group.sample_size(10);
     // Record the measured sizes in the report JSON via the bench names.

@@ -84,8 +84,10 @@ mod tests {
                 payload_bytes: 1000,
                 delivered: i < delivered,
                 extract_ms: 1.0,
+                encode_ms: 0.1,
                 network_ms: 1.0,
                 reconstruct_ms: 1.0,
+                render_ms: 1.0,
                 e2e_ms,
                 quality: None,
             });

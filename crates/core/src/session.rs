@@ -8,7 +8,7 @@
 //! 100 ms interactivity budget, sustained FPS capability, and visual
 //! quality.
 
-use crate::error::Result;
+use crate::error::{Result, SemHoloError};
 use crate::semantics::{QualityReport, SemanticPipeline};
 use crate::scene::SceneSource;
 use holo_gpu::Device;
@@ -17,9 +17,12 @@ use holo_net::link::{Link, LinkConfig};
 use holo_net::time::SimTime;
 use holo_net::trace::BandwidthTrace;
 use holo_net::transport::{FrameTransport, LossPolicy};
+use holo_trace::TraceReport;
+use std::path::Path;
 use std::time::Duration;
 
 /// Session parameters.
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// The network between the two sites.
     pub link: LinkConfig,
@@ -31,7 +34,12 @@ pub struct SessionConfig {
     pub receiver_device: Device,
     /// Fixed render/display overhead added to every frame.
     pub render_overhead: Duration,
-    /// Evaluate quality every N frames (it is expensive); 0 disables.
+    /// Evaluate quality every N frames. Quality evaluation is by far
+    /// the most expensive per-frame step (it samples and compares whole
+    /// surfaces), so it is opt-in: the conventional value `0` means
+    /// **disabled** — no frame is ever sampled and the report's quality
+    /// fields stay `None`. Any N > 0 samples frames whose index is a
+    /// multiple of N (frame 0 included).
     pub quality_every: usize,
     /// Network seed.
     pub seed: u64,
@@ -51,7 +59,9 @@ impl Default for SessionConfig {
     }
 }
 
-/// Per-frame outcome.
+/// Per-frame outcome, with the full five-stage breakdown the paper's
+/// evaluation is built around (extract / encode / transmit / decode /
+/// render — Figs. 2–4 are all about where these milliseconds go).
 #[derive(Debug, Clone)]
 pub struct FrameReport {
     /// Frame index.
@@ -60,16 +70,38 @@ pub struct FrameReport {
     pub payload_bytes: usize,
     /// Whether the frame arrived complete.
     pub delivered: bool,
-    /// Extraction time (modeled).
+    /// Total sender-side time (modeled extraction, including the
+    /// payload-serialization tail reported in `encode_ms`).
     pub extract_ms: f64,
+    /// Payload serialization/compression slice of `extract_ms`
+    /// (modeled at 1 GB/s over the payload bytes, clamped to the
+    /// extraction time).
+    pub encode_ms: f64,
     /// Network time (send start to last fragment).
     pub network_ms: f64,
     /// Reconstruction time (modeled).
     pub reconstruct_ms: f64,
+    /// Render/display overhead (NaN when the frame never arrived).
+    pub render_ms: f64,
     /// Total end-to-end latency including render overhead.
     pub e2e_ms: f64,
     /// Quality, when sampled this frame.
     pub quality: Option<QualityReport>,
+}
+
+impl FrameReport {
+    /// The five pipeline stages as disjoint `(name, ms)` slices that
+    /// sum to `e2e_ms` for delivered frames (`extract` here excludes
+    /// the `encode` tail; the stored `extract_ms` includes it).
+    pub fn stages(&self) -> [(&'static str, f64); 5] {
+        [
+            ("extract", self.extract_ms - self.encode_ms),
+            ("encode", self.encode_ms),
+            ("transmit", self.network_ms),
+            ("decode", self.reconstruct_ms),
+            ("render", self.render_ms),
+        ]
+    }
 }
 
 /// Aggregated session outcome.
@@ -137,6 +169,7 @@ impl Session {
         let mut recon_s = Summary::new();
         let mut chamfer = Summary::new();
         let mut psnr = Summary::new();
+        let tracing = holo_trace::enabled();
         for frame in scene.frames(frames) {
             let capture_t = frame.time;
             let encoded = pipeline.encode(&frame)?;
@@ -144,13 +177,32 @@ impl Session {
             extract_s.record(extract.as_secs_f64());
             let send_at = SimTime::from_secs_f64(capture_t + extract.as_secs_f64());
             let tx = self.transport.send_frame(encoded.payload.clone(), send_at);
+            // Virtual stage boundaries in microseconds. The encode slice
+            // is the payload-serialization tail of extraction, modeled
+            // at 1 GB/s (1 byte/ns) and clamped into the extract window.
+            let capture_us = SimTime::from_secs_f64(capture_t).0;
+            let send_us = send_at.0;
+            let encode_us = (encoded.payload.len() as u64 / 1000).min(send_us - capture_us);
+            if tracing {
+                holo_trace::span_enter_frame("frame", capture_us, frame.index as u64);
+                holo_trace::span_enter("extract", capture_us);
+                holo_trace::span_exit(send_us - encode_us);
+                holo_trace::span_enter("encode", send_us - encode_us);
+                holo_trace::span_exit(send_us);
+                holo_trace::span_enter("transmit", send_us);
+                holo_trace::span_exit(tx.completed_at.map_or(send_us, |t| t.0));
+                holo_trace::counter("session.frames", 1);
+                holo_trace::histogram("session.payload_bytes", encoded.payload.len() as f64);
+            }
             let mut fr = FrameReport {
                 index: frame.index,
                 payload_bytes: encoded.payload.len(),
                 delivered: tx.complete,
                 extract_ms: extract.as_secs_f64() * 1000.0,
+                encode_ms: encode_us as f64 / 1000.0,
                 network_ms: tx.latency.map_or(f64::NAN, |l| l.as_secs_f64() * 1000.0),
                 reconstruct_ms: f64::NAN,
+                render_ms: f64::NAN,
                 e2e_ms: f64::NAN,
                 quality: None,
             };
@@ -160,12 +212,22 @@ impl Session {
                 let recon = reconstructed.recon.time_on(&self.config.receiver_device)?;
                 recon_s.record(recon.as_secs_f64());
                 fr.reconstruct_ms = recon.as_secs_f64() * 1000.0;
-                fr.e2e_ms = fr.extract_ms
-                    + fr.network_ms
-                    + fr.reconstruct_ms
-                    + self.config.render_overhead.as_secs_f64() * 1000.0;
+                fr.render_ms = self.config.render_overhead.as_secs_f64() * 1000.0;
+                fr.e2e_ms = fr.extract_ms + fr.network_ms + fr.reconstruct_ms + fr.render_ms;
                 report.e2e_ms.record(fr.e2e_ms);
                 report.delivered += 1;
+                if tracing {
+                    let arrival_us = tx.completed_at.expect("complete implies arrival").0;
+                    let recon_end = arrival_us + recon.as_micros() as u64;
+                    let render_end = recon_end + self.config.render_overhead.as_micros() as u64;
+                    holo_trace::span_enter("decode", arrival_us);
+                    holo_trace::span_exit(recon_end);
+                    holo_trace::span_enter("render", recon_end);
+                    holo_trace::span_exit(render_end);
+                    holo_trace::span_exit(render_end); // "frame"
+                    holo_trace::counter("session.frames_delivered", 1);
+                    holo_trace::histogram("session.e2e_ms", fr.e2e_ms);
+                }
                 if self.config.quality_every > 0 && frame.index % self.config.quality_every == 0 {
                     let q = pipeline.quality(&frame, &reconstructed.content);
                     if let Some(c) = q.chamfer {
@@ -178,6 +240,9 @@ impl Session {
                     }
                     fr.quality = Some(q);
                 }
+            } else if tracing {
+                holo_trace::span_exit(send_us); // "frame" (never arrived)
+                holo_trace::counter("session.frames_dropped", 1);
             }
             report.frames.push(fr);
         }
@@ -187,6 +252,35 @@ impl Session {
         report.mean_chamfer = (chamfer.count() > 0).then(|| chamfer.mean());
         report.mean_psnr = (psnr.count() > 0).then(|| psnr.mean());
         Ok(report)
+    }
+
+    /// Run with tracing force-enabled and export the evidence: writes a
+    /// `chrome://tracing`-compatible trace-event JSON to `trace_path`
+    /// (stamped in virtual `SimTime`, so the bytes are identical for
+    /// identical seeds) and returns the per-stage [`TraceReport`]
+    /// alongside the usual [`SessionReport`]. The recorder is reset at
+    /// entry and the previous enable state is restored at exit.
+    pub fn run_traced(
+        &mut self,
+        pipeline: &mut dyn SemanticPipeline,
+        scene: &SceneSource,
+        frames: usize,
+        trace_path: &Path,
+    ) -> Result<(SessionReport, TraceReport)> {
+        let was_enabled = holo_trace::enabled();
+        holo_trace::enable();
+        holo_trace::reset();
+        let outcome = self.run(pipeline, scene, frames);
+        let trace_report = holo_trace::trace_report();
+        let chrome = holo_trace::chrome_trace();
+        if !was_enabled {
+            holo_trace::disable();
+        }
+        let report = outcome?;
+        std::fs::write(trace_path, chrome.as_bytes()).map_err(|e| {
+            SemHoloError::Config(format!("cannot write trace {}: {e}", trace_path.display()))
+        })?;
+        Ok((report, trace_report))
     }
 }
 
@@ -274,6 +368,73 @@ mod tests {
         for f in &report.frames {
             assert!(f.network_ms < 50.0, "network {} ms", f.network_ms);
         }
+    }
+
+    #[test]
+    fn stage_breakdown_tiles_e2e() {
+        let scene = scene();
+        let mut pipeline =
+            KeypointPipeline::new(KeypointConfig { resolution: 48, ..Default::default() }, 3);
+        let mut session = broadband_session();
+        let report = session.run(&mut pipeline, &scene, 4).unwrap();
+        for f in report.frames.iter().filter(|f| f.delivered) {
+            let sum: f64 = f.stages().iter().map(|(_, ms)| ms).sum();
+            assert!((sum - f.e2e_ms).abs() < 1e-6, "stages {sum} vs e2e {}", f.e2e_ms);
+            assert!(f.encode_ms <= f.extract_ms);
+            assert!(f.render_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn traced_run_covers_all_stages_and_reproduces() {
+        let scene = scene();
+        let dir = std::env::temp_dir();
+        let run = |path: &std::path::Path| {
+            let mut pipeline =
+                KeypointPipeline::new(KeypointConfig { resolution: 48, ..Default::default() }, 3);
+            let mut session = broadband_session();
+            session.run_traced(&mut pipeline, &scene, 5, path).unwrap()
+        };
+        let p1 = dir.join("semholo_session_trace_a.json");
+        let p2 = dir.join("semholo_session_trace_b.json");
+        let (report, stages) = run(&p1);
+        let (_, _) = run(&p2);
+        assert_eq!(report.frames.len(), 5);
+        for stage in ["frame", "extract", "encode", "transmit", "decode", "render"] {
+            let s = stages.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert_eq!(s.count as usize, 5, "stage {stage} must cover every frame");
+        }
+        let a = std::fs::read_to_string(&p1).unwrap();
+        let b = std::fs::read_to_string(&p2).unwrap();
+        assert_eq!(a, b, "same seed must produce byte-identical traces");
+        let doc = holo_runtime::ser::parse(&a).expect("chrome trace parses");
+        assert!(doc.get("traceEvents").unwrap().as_array().unwrap().len() >= 30);
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn untraced_run_records_no_spans() {
+        // `run` (not `run_traced`) with the global flag off must leave
+        // the thread recorder untouched.
+        let scene = scene();
+        holo_trace::reset();
+        if !holo_trace::enabled() {
+            let mut pipeline =
+                KeypointPipeline::new(KeypointConfig { resolution: 48, ..Default::default() }, 3);
+            let mut session = broadband_session();
+            session.run(&mut pipeline, &scene, 2).unwrap();
+            holo_trace::with_recorder(|r| assert!(r.spans.is_empty()));
+        }
+    }
+
+    #[test]
+    fn session_config_is_debug_and_clone() {
+        let cfg = SessionConfig::default();
+        let copy = cfg.clone();
+        let text = format!("{copy:?}");
+        assert!(text.contains("render_overhead"), "{text}");
+        assert_eq!(copy.quality_every, cfg.quality_every);
     }
 
     #[test]

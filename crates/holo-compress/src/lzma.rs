@@ -53,7 +53,24 @@ impl Models {
 
 /// Compress `data`. The output embeds the original length; an empty input
 /// produces a tiny valid stream.
+///
+/// When tracing is on, records `compress.lzma.encode_ms` (wall clock —
+/// the one nondeterministic metric family, excluded from the trace
+/// byte-identity guarantee), `compress.lzma.ratio`, and byte counters.
 pub fn lzma_compress(data: &[u8]) -> Vec<u8> {
+    if !holo_trace::enabled() {
+        return lzma_compress_inner(data);
+    }
+    let start = std::time::Instant::now();
+    let out = lzma_compress_inner(data);
+    holo_trace::histogram("compress.lzma.encode_ms", start.elapsed().as_secs_f64() * 1e3);
+    holo_trace::histogram("compress.lzma.ratio", out.len() as f64 / data.len().max(1) as f64);
+    holo_trace::counter("compress.lzma.bytes_in", data.len() as u64);
+    holo_trace::counter("compress.lzma.bytes_out", out.len() as u64);
+    out
+}
+
+fn lzma_compress_inner(data: &[u8]) -> Vec<u8> {
     let mut header = Vec::new();
     write_varint(&mut header, data.len() as u32);
     if data.is_empty() {
@@ -144,8 +161,22 @@ fn match_len(data: &[u8], from: usize, at: usize) -> usize {
     l
 }
 
-/// Decompress a stream produced by [`lzma_compress`].
+/// Decompress a stream produced by [`lzma_compress`]. Records
+/// `compress.lzma.decode_ms` (wall clock) when tracing is on.
 pub fn lzma_decompress(input: &[u8]) -> Result<Vec<u8>, String> {
+    if !holo_trace::enabled() {
+        return lzma_decompress_inner(input);
+    }
+    let start = std::time::Instant::now();
+    let out = lzma_decompress_inner(input);
+    holo_trace::histogram("compress.lzma.decode_ms", start.elapsed().as_secs_f64() * 1e3);
+    if let Ok(bytes) = &out {
+        holo_trace::counter("compress.lzma.bytes_decoded", bytes.len() as u64);
+    }
+    out
+}
+
+fn lzma_decompress_inner(input: &[u8]) -> Result<Vec<u8>, String> {
     let (total, used) = read_varint(input).ok_or("truncated header")?;
     let total = total as usize;
     if total == 0 {
@@ -211,6 +242,29 @@ mod tests {
         roundtrip(&[1, 2]);
         roundtrip(&[7; 3]);
         roundtrip(b"ab");
+    }
+
+    #[test]
+    fn tracing_records_codec_metrics() {
+        let was = holo_trace::enabled();
+        holo_trace::enable();
+        holo_trace::reset();
+        let data = vec![7u8; 4096];
+        let c = lzma_compress(&data);
+        assert_eq!(lzma_decompress(&c).unwrap(), data);
+        let snap = holo_trace::snapshot_json().render();
+        if !was {
+            holo_trace::disable();
+        }
+        for key in [
+            "compress.lzma.encode_ms",
+            "compress.lzma.decode_ms",
+            "compress.lzma.ratio",
+            "compress.lzma.bytes_in",
+            "compress.lzma.bytes_out",
+        ] {
+            assert!(snap.contains(key), "missing {key} in {snap}");
+        }
     }
 
     #[test]

@@ -98,6 +98,20 @@ pub fn encode_mesh(mesh: &TriMesh, cfg: &MeshCodecConfig) -> Vec<u8> {
 /// will emit at position `k` (discovery order). Temporal coding needs it
 /// to compute deltas against the receiver's reordered reference.
 pub fn encode_mesh_with_permutation(mesh: &TriMesh, cfg: &MeshCodecConfig) -> (Vec<u8>, Vec<u32>) {
+    if !holo_trace::enabled() {
+        return encode_mesh_inner(mesh, cfg);
+    }
+    let start = std::time::Instant::now();
+    let out = encode_mesh_inner(mesh, cfg);
+    holo_trace::histogram("compress.mesh.encode_ms", start.elapsed().as_secs_f64() * 1e3);
+    // Raw baseline: 12 bytes/vertex position + 12 bytes/face of indices.
+    let raw = mesh.vertices.len() * 12 + mesh.faces.len() * 12;
+    holo_trace::histogram("compress.mesh.ratio", out.0.len() as f64 / raw.max(1) as f64);
+    holo_trace::counter("compress.mesh.bytes_out", out.0.len() as u64);
+    out
+}
+
+fn encode_mesh_inner(mesh: &TriMesh, cfg: &MeshCodecConfig) -> (Vec<u8>, Vec<u32>) {
     let bits = cfg.position_bits.clamp(4, 20);
     let (qpos, origin, step) = quantize_positions(mesh, bits);
 
@@ -214,6 +228,16 @@ pub fn encode_mesh_with_permutation(mesh: &TriMesh, cfg: &MeshCodecConfig) -> (V
 /// Decode a mesh produced by [`encode_mesh`]. Vertices come back in
 /// discovery order; faces keep their original winding.
 pub fn decode_mesh(data: &[u8]) -> Result<TriMesh, String> {
+    if !holo_trace::enabled() {
+        return decode_mesh_inner(data);
+    }
+    let start = std::time::Instant::now();
+    let out = decode_mesh_inner(data);
+    holo_trace::histogram("compress.mesh.decode_ms", start.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+fn decode_mesh_inner(data: &[u8]) -> Result<TriMesh, String> {
     if data.len() < 25 {
         return Err("mesh stream too short".into());
     }

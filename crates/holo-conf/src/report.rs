@@ -176,6 +176,35 @@ mod tests {
     }
 
     #[test]
+    fn jain_single_subscriber_is_trivially_fair() {
+        assert_eq!(jain_index(&[0.7]), 1.0);
+        assert_eq!(jain_index(&[123.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let xs = [0.2, 0.9, 0.4, 0.55];
+        let base = jain_index(&xs);
+        for k in [0.001, 0.5, 37.5, 1e6] {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            assert!(
+                (jain_index(&scaled) - base).abs() < 1e-12,
+                "scale {k} changed jain: {} vs {base}",
+                jain_index(&scaled)
+            );
+        }
+    }
+
+    #[test]
+    fn jain_bounded_by_reciprocal_n_and_one() {
+        for xs in [vec![1.0, 2.0, 3.0], vec![10.0, 0.1, 0.1, 0.1], vec![5.0, 5.0]] {
+            let j = jain_index(&xs);
+            let lo = 1.0 / xs.len() as f64;
+            assert!(j >= lo - 1e-12 && j <= 1.0 + 1e-12, "jain {j} outside [{lo}, 1]");
+        }
+    }
+
+    #[test]
     fn report_renders_all_room_fields() {
         let report = RoomReport {
             participants: 2,

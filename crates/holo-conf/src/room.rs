@@ -17,6 +17,7 @@ use crate::report::{jain_index, RoomReport, SubscriberReport};
 use crate::sfu::{ForwardOutcome, Sfu};
 use holo_math::Summary;
 use holo_net::abr::Ladder;
+use holo_trace::TraceReport;
 use holo_net::link::Link;
 use holo_net::time::SimTime;
 use holo_net::transport::{FrameTransport, LossPolicy};
@@ -25,6 +26,7 @@ use semholo::scene::SceneSource;
 use semholo::semantics::{SemanticPipeline, StageCost};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::Path;
 use std::time::Duration;
 
 /// Room parameters.
@@ -196,6 +198,7 @@ impl Room {
         let mut shared_cache: Vec<Option<FrameMeta>> = vec![None; cfg.frames];
         let mut uplink_lost = 0u64;
 
+        let tracing = holo_trace::enabled();
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, at, kind| {
@@ -226,11 +229,28 @@ impl Room {
                     let send_at = event.at + extract_t;
                     let result = uplinks[sender].send_frame_sized(m.payload_bytes, send_at);
                     meta[sender][index] = Some(m);
+                    if tracing {
+                        holo_trace::set_lane(sender as u32);
+                        holo_trace::span_enter_frame("room.extract", event.at.0, index as u64);
+                        holo_trace::span_exit(send_at.0);
+                        holo_trace::span_enter_frame("room.uplink", send_at.0, index as u64);
+                        match result.completed_at {
+                            Some(t) if result.complete => holo_trace::span_exit(t.0),
+                            // Lost uplinks close at the send instant: the
+                            // frame never occupied the wire end-to-end.
+                            _ => holo_trace::span_exit(send_at.0),
+                        }
+                    }
                     match result.completed_at {
                         Some(t) if result.complete => {
                             push(&mut heap, &mut seq, t, EventKind::Ingress(sender, index));
                         }
-                        _ => uplink_lost += 1,
+                        _ => {
+                            uplink_lost += 1;
+                            if tracing {
+                                holo_trace::counter("room.uplink_lost", 1);
+                            }
+                        }
                     }
                 }
                 EventKind::Ingress(sender, index) => {
@@ -248,6 +268,15 @@ impl Room {
                     for (s, outcome) in sfu.fan_out(&frame, event.at) {
                         if let ForwardOutcome::DeliveredAt(t) = outcome {
                             arrivals[s][sender][index] = Some(t);
+                            if tracing {
+                                holo_trace::set_lane(s as u32);
+                                holo_trace::span_enter_frame(
+                                    "room.forward",
+                                    event.at.0,
+                                    index as u64,
+                                );
+                                holo_trace::span_exit(t.0);
+                            }
                         }
                     }
                 }
@@ -334,6 +363,34 @@ impl Room {
             downlink_lost: sfu.downlink_lost,
             subscribers,
         })
+    }
+
+    /// Run the room with tracing force-enabled and export the evidence:
+    /// writes a `chrome://tracing`-compatible trace-event JSON to
+    /// `trace_path` (stamped in virtual `SimTime`, so the bytes are
+    /// identical for identical seeds) and returns the per-stage
+    /// [`TraceReport`] alongside the usual [`RoomReport`]. The recorder
+    /// is reset at entry and the previous enable state restored at exit.
+    pub fn run_traced(
+        &mut self,
+        scene: &SceneSource,
+        pipelines: &mut [Box<dyn SemanticPipeline>],
+        trace_path: &Path,
+    ) -> Result<(RoomReport, TraceReport)> {
+        let was_enabled = holo_trace::enabled();
+        holo_trace::enable();
+        holo_trace::reset();
+        let outcome = self.run(scene, pipelines);
+        let trace_report = holo_trace::trace_report();
+        let chrome = holo_trace::chrome_trace();
+        if !was_enabled {
+            holo_trace::disable();
+        }
+        let report = outcome?;
+        std::fs::write(trace_path, chrome.as_bytes()).map_err(|e| {
+            SemHoloError::Config(format!("cannot write trace {}: {e}", trace_path.display()))
+        })?;
+        Ok((report, trace_report))
     }
 }
 
@@ -458,6 +515,30 @@ mod tests {
         );
         assert!(starved.sfu_dropped > 0, "backpressure must show up at the SFU queue");
         assert!(report.jain_fairness < 0.99, "fairness must reflect the starvation");
+    }
+
+    #[test]
+    fn traced_room_covers_extract_uplink_forward() {
+        let scene = scene();
+        let cfg = RoomConfig {
+            participants: ParticipantConfig::uniform_room(3, 25e6),
+            frames: 4,
+            share_encoder: true,
+            ..Default::default()
+        };
+        let path = std::env::temp_dir().join("holo_conf_room_trace.json");
+        let mut room = Room::new(cfg).unwrap();
+        let (report, trace) = room.run_traced(&scene, &mut vec![kp()], &path).unwrap();
+        assert_eq!(report.participants, 3);
+        // 3 senders x 4 frames of extract/uplink; each ingress fans out
+        // to 2 subscribers.
+        for (stage, count) in [("room.extract", 12), ("room.uplink", 12), ("room.forward", 24)] {
+            let stat = trace.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert_eq!(stat.count, count, "stage {stage}");
+        }
+        let chrome = std::fs::read_to_string(&path).unwrap();
+        holo_runtime::ser::parse(&chrome).expect("trace must be valid JSON");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -137,6 +137,7 @@ impl Sfu {
     pub fn fan_out(&mut self, frame: &StreamFrame, now: SimTime) -> Vec<(usize, ForwardOutcome)> {
         let n = self.ports.len();
         let share = n.saturating_sub(1);
+        let tracing = holo_trace::enabled();
         let mut outcomes = Vec::with_capacity(share);
         for (s, port) in self.ports.iter_mut().enumerate() {
             if s == frame.sender {
@@ -148,6 +149,18 @@ impl Sfu {
                 ForwardOutcome::QueueDropped => self.queue_dropped += 1,
                 ForwardOutcome::DownlinkLost => self.downlink_lost += 1,
                 ForwardOutcome::DeliveredAt(_) => {}
+            }
+            if tracing {
+                holo_trace::counter("sfu.forwarded", 1);
+                match outcome {
+                    ForwardOutcome::QueueDropped => holo_trace::counter("sfu.queue_dropped", 1),
+                    ForwardOutcome::DownlinkLost => holo_trace::counter("sfu.downlink_lost", 1),
+                    ForwardOutcome::DeliveredAt(_) => holo_trace::counter("sfu.delivered", 1),
+                }
+                holo_trace::gauge(
+                    &format!("sfu.port{s}.queue_occupancy"),
+                    port.queue.occupancy_at(now) as f64,
+                );
             }
             outcomes.push((s, outcome));
         }

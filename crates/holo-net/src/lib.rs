@@ -34,7 +34,7 @@ pub mod transport;
 
 pub use abr::{AbrController, Ladder, LadderRung};
 pub use mpc::{MpcController, MpcObjective};
-pub use link::{Link, LinkConfig};
+pub use link::{Link, LinkConfig, LinkStats};
 pub use packet::Packet;
 pub use predict::{BandwidthPredictor, EwmaPredictor, HarmonicMeanPredictor};
 pub use time::SimTime;

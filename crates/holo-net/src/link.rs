@@ -46,6 +46,30 @@ pub enum Delivery {
     Lost,
 }
 
+/// A snapshot of a link's counters (see [`Link::stats`]). Queue drops
+/// and random losses are counted separately: a [`Delivery::QueueDrop`]
+/// is congestion (backpressure the sender could react to), a
+/// [`Delivery::Lost`] is channel noise, and conflating them hides
+/// which one is killing a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped at the tail of the queue (congestion).
+    pub queue_drops: u64,
+    /// Packets lost to random channel loss.
+    pub loss_drops: u64,
+    /// Payload+header bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl LinkStats {
+    /// Total drops, both causes.
+    pub fn dropped(&self) -> u64 {
+        self.queue_drops + self.loss_drops
+    }
+}
+
 /// A unidirectional bottleneck link.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -55,10 +79,7 @@ pub struct Link {
     pub trace: BandwidthTrace,
     busy_until: SimTime,
     rng: Pcg32,
-    /// Counters.
-    pub delivered: u64,
-    pub dropped: u64,
-    pub bytes_delivered: u64,
+    stats: LinkStats,
 }
 
 impl Link {
@@ -69,10 +90,13 @@ impl Link {
             trace,
             busy_until: SimTime::ZERO,
             rng: Pcg32::new(seed),
-            delivered: 0,
-            dropped: 0,
-            bytes_delivered: 0,
+            stats: LinkStats::default(),
         }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
     }
 
     /// Current queueing delay if a packet were offered at `now`.
@@ -85,14 +109,16 @@ impl Link {
         let start = self.busy_until.max(now);
         let queue_delay = start - now;
         if queue_delay > self.config.max_queue_delay {
-            self.dropped += 1;
+            self.stats.queue_drops += 1;
+            holo_trace::counter("link.queue_drops", 1);
             return Delivery::QueueDrop;
         }
         let rate = self.trace.bps_at(start.as_secs_f64()).max(1.0);
         let serialization = Duration::from_secs_f64(wire_bytes as f64 * 8.0 / rate);
         self.busy_until = start + serialization;
         if self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate) {
-            self.dropped += 1;
+            self.stats.loss_drops += 1;
+            holo_trace::counter("link.loss_drops", 1);
             return Delivery::Lost;
         }
         let jitter = if self.config.jitter_max.is_zero() {
@@ -100,14 +126,18 @@ impl Link {
         } else {
             Duration::from_secs_f64(self.rng.next_f32() as f64 * self.config.jitter_max.as_secs_f64())
         };
-        self.delivered += 1;
-        self.bytes_delivered += wire_bytes as u64;
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += wire_bytes as u64;
+        if holo_trace::enabled() {
+            holo_trace::counter("link.delivered", 1);
+            holo_trace::counter("link.bytes_delivered", wire_bytes as u64);
+        }
         Delivery::At(self.busy_until + self.config.propagation + jitter)
     }
 
     /// Achieved goodput over an interval, bps.
     pub fn goodput_bps(&self, duration: Duration) -> f64 {
-        self.bytes_delivered as f64 * 8.0 / duration.as_secs_f64().max(1e-9)
+        self.stats.bytes_delivered as f64 * 8.0 / duration.as_secs_f64().max(1e-9)
     }
 }
 
@@ -158,7 +188,28 @@ mod tests {
         }
         // 200 ms queue limit / 8 ms per packet = ~25 accepted.
         assert!(drops > 60, "drops {drops}");
-        assert!(link.dropped as usize == drops);
+        let stats = link.stats();
+        assert_eq!(stats.queue_drops as usize, drops);
+        assert_eq!(stats.loss_drops, 0, "no random loss configured");
+        assert_eq!(stats.dropped() as usize, drops);
+    }
+
+    #[test]
+    fn stats_distinguish_drop_causes() {
+        // Lossy but uncongested: every drop must be a loss_drop.
+        let mut lossy = Link::new(
+            LinkConfig { loss_rate: 0.2, max_queue_delay: Duration::from_secs(100), ..Default::default() },
+            BandwidthTrace::Constant { bps: 1e9 },
+            11,
+        );
+        for i in 0..500 {
+            lossy.transmit(500, SimTime::from_millis(i));
+        }
+        let s = lossy.stats();
+        assert!(s.loss_drops > 0);
+        assert_eq!(s.queue_drops, 0);
+        assert_eq!(s.delivered + s.dropped(), 500);
+        assert_eq!(s.bytes_delivered, s.delivered * 500);
     }
 
     #[test]

@@ -97,6 +97,7 @@ impl FrameTransport {
     pub fn send_frame_sized(&mut self, payload_len: usize, now: SimTime) -> FrameResult {
         let frame_id = self.sender.next_frame;
         self.sender.next_frame += 1;
+        holo_trace::counter("transport.frames_sent", 1);
         let fragment_count = payload_len.div_ceil(MTU_PAYLOAD).max(1) as u32;
         let mut result = FrameResult {
             frame_id,
@@ -132,6 +133,7 @@ impl FrameTransport {
                 let size = hi - lo + Packet::HEADER_BYTES;
                 result.packets_sent += 1;
                 result.wire_bytes += size as u64;
+                holo_trace::counter("transport.retx_fragments", 1);
                 match self.link.transmit(size, nack_at) {
                     Delivery::At(t) => last_arrival = last_arrival.max(t),
                     _ => still_lost = true,
@@ -139,10 +141,12 @@ impl FrameTransport {
             }
             if still_lost {
                 self.receiver.frames_dropped += 1;
+                holo_trace::counter("transport.frames_dropped", 1);
                 return result;
             }
         } else if !lost_fragments.is_empty() {
             self.receiver.frames_dropped += 1;
+            holo_trace::counter("transport.frames_dropped", 1);
             return result;
         }
 
@@ -150,6 +154,14 @@ impl FrameTransport {
         result.completed_at = Some(last_arrival);
         result.latency = Some(last_arrival - now);
         self.receiver.frames_complete += 1;
+        if holo_trace::enabled() {
+            holo_trace::counter("transport.frames_complete", 1);
+            holo_trace::counter("transport.wire_bytes", result.wire_bytes);
+            holo_trace::histogram(
+                "transport.frame_latency_ms",
+                (last_arrival - now).as_secs_f64() * 1e3,
+            );
+        }
         result
     }
 

@@ -1,0 +1,96 @@
+//! `chrome://tracing` / Perfetto trace-event export.
+//!
+//! Spans render as complete (`"ph":"X"`) events with microsecond `ts`
+//! and `dur` — exactly the recorder's virtual timestamps, as integers,
+//! so the output is byte-identical across runs of the same seed. Load
+//! the file in `chrome://tracing` or <https://ui.perfetto.dev>; lanes
+//! map to tids, so a room renders one track per participant.
+
+use crate::recorder::SpanEvent;
+use holo_runtime::ser::{JsonValue, ToJson};
+
+/// Render completed spans as a trace-event JSON document
+/// (`{"displayTimeUnit":"ms","traceEvents":[...]}`).
+///
+/// Events are emitted in span-completion order re-sorted by
+/// `(start, -end)`, so parents precede their children at equal start
+/// times and the byte stream is a pure function of the span set.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut ordered: Vec<&SpanEvent> = spans.iter().collect();
+    // Stable key: start ascending, longer (enclosing) spans first, then
+    // lane and name for full determinism on exact ties.
+    ordered.sort_by(|a, b| {
+        a.start_us
+            .cmp(&b.start_us)
+            .then(b.end_us.cmp(&a.end_us))
+            .then(a.lane.cmp(&b.lane))
+            .then(a.name.cmp(b.name))
+    });
+    let events: Vec<JsonValue> = ordered.iter().map(|s| event_json(s)).collect();
+    JsonValue::obj([
+        ("displayTimeUnit", JsonValue::Str("ms".into())),
+        ("traceEvents", JsonValue::Arr(events)),
+    ])
+    .render()
+}
+
+fn event_json(s: &SpanEvent) -> JsonValue {
+    let mut pairs = vec![
+        ("name".to_string(), JsonValue::Str(s.name.to_string())),
+        ("cat".to_string(), JsonValue::Str("semholo".into())),
+        ("ph".to_string(), JsonValue::Str("X".into())),
+        ("ts".to_string(), s.start_us.to_json()),
+        ("dur".to_string(), (s.end_us - s.start_us).to_json()),
+        ("pid".to_string(), JsonValue::Num(0.0)),
+        ("tid".to_string(), s.lane.to_json()),
+    ];
+    if let Some(frame) = s.frame {
+        pairs.push(("args".to_string(), JsonValue::obj([("frame", frame.to_json())])));
+    }
+    JsonValue::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_runtime::ser;
+
+    fn span(name: &'static str, start: u64, end: u64, lane: u32) -> SpanEvent {
+        SpanEvent { name, start_us: start, end_us: end, depth: 0, lane, frame: None }
+    }
+
+    #[test]
+    fn events_are_sorted_and_parse() {
+        let spans = vec![
+            span("child", 10, 20, 0),
+            span("parent", 0, 100, 0),
+            span("other", 10, 15, 1),
+        ];
+        let text = chrome_trace_json(&spans);
+        let doc = ser::parse(&text).expect("chrome trace parses");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        let names: Vec<&str> =
+            events.iter().map(|e| e.get("name").unwrap().as_str().unwrap()).collect();
+        assert_eq!(names, vec!["parent", "child", "other"]);
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(100.0));
+        assert_eq!(events[2].get("tid").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let spans = vec![span("a", 0, 5, 0), span("b", 0, 5, 0)];
+        assert_eq!(chrome_trace_json(&spans), chrome_trace_json(&spans));
+        // Ties at identical (start, end, lane) break on name.
+        let text = chrome_trace_json(&spans);
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn frame_arg_is_emitted() {
+        let mut s = span("frame", 0, 1, 0);
+        s.frame = Some(12);
+        let text = chrome_trace_json(&[s]);
+        assert!(text.contains("\"args\":{\"frame\":12}"), "{text}");
+    }
+}

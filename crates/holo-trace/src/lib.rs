@@ -1,0 +1,286 @@
+//! **holo-trace** — deterministic structured tracing + metrics for the
+//! SemHolo pipeline.
+//!
+//! The paper's whole evaluation is about *where time and bytes go* —
+//! extraction vs. transmission vs. reconstruction against the 100 ms
+//! interactivity budget — so the pipeline needs per-stage, per-frame
+//! visibility, not just end-of-run aggregates. This crate provides it
+//! in the spirit of `tracing`/`metrics`, with two properties those
+//! crates do not give us:
+//!
+//! 1. **Determinism.** Spans are stamped in virtual [`SimTime`]
+//!    microseconds supplied by the simulation, never the wall clock, so
+//!    two runs of the same seed produce **byte-identical** trace-event
+//!    JSON. (Wall-clock measurements are allowed only in histograms,
+//!    which are excluded from the byte-identity guarantee; see
+//!    [`metrics`].)
+//! 2. **A free disabled path.** Every recording entry point first reads
+//!    one relaxed `AtomicBool`; when tracing is off the call returns
+//!    immediately without allocating or touching the thread-local
+//!    recorder. Enable with `SEMHOLO_TRACE=1` or [`enable`].
+//!
+//! The recorder is thread-local: the simulations are single-threaded
+//! per run, so each session/room owns its own event stream and tests
+//! can run in parallel without interleaving spans.
+//!
+//! - [`recorder`] — the thread-local [`Recorder`]: span enter/exit with
+//!   parent nesting, logical lane ids (chrome "tids"), metrics.
+//! - [`metrics`] — counters, gauges, and fixed-bucket histograms with a
+//!   canonical-JSON snapshot (sorted keys, via `holo_runtime::ser`).
+//! - [`chrome`] — `chrome://tracing` / Perfetto trace-event export.
+//! - [`report`] — [`TraceReport`]: the per-stage latency table printed
+//!   by `examples/quickstart.rs` and the benches.
+//!
+//! # Example
+//!
+//! ```
+//! holo_trace::enable();
+//! holo_trace::reset();
+//! holo_trace::span_enter("frame", 0);
+//! holo_trace::span_enter("extract", 0);
+//! holo_trace::span_exit(7_000);          // virtual microseconds
+//! holo_trace::span_exit(9_000);
+//! holo_trace::counter("frames", 1);
+//! let report = holo_trace::trace_report();
+//! assert_eq!(report.get("extract").unwrap().count, 1);
+//! let json = holo_trace::chrome_trace(); // byte-identical per seed
+//! assert!(json.contains("\"traceEvents\""));
+//! # holo_trace::disable();
+//! ```
+
+pub mod chrome;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use metrics::{Gauge, Histogram, Metrics};
+pub use recorder::{Recorder, SpanEvent};
+pub use report::{StageStat, TraceReport};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide enable flag: the fast path every instrumentation site
+/// checks first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Whether `SEMHOLO_TRACE` has been consulted yet.
+static ENV_CHECKED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static RECORDER: RefCell<Recorder> = RefCell::new(Recorder::new());
+}
+
+/// Is tracing on? One relaxed atomic load after the first call (the
+/// first call reads `SEMHOLO_TRACE`; `1` or any non-empty value other
+/// than `0` enables).
+#[inline]
+pub fn enabled() -> bool {
+    if !ENV_CHECKED.load(Ordering::Relaxed) {
+        init_from_env();
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[cold]
+fn init_from_env() {
+    let on = std::env::var("SEMHOLO_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    // `enable`/`disable` may have run first; they set ENV_CHECKED before
+    // this can observe it unset, so only a pristine process lands here.
+    if !ENV_CHECKED.swap(true, Ordering::Relaxed) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+}
+
+/// Turn tracing on programmatically (overrides the environment).
+pub fn enable() {
+    ENV_CHECKED.store(true, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn tracing off programmatically (overrides the environment).
+pub fn disable() {
+    ENV_CHECKED.store(true, Ordering::Relaxed);
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clear this thread's recorder: spans, open stack, metrics, lane.
+pub fn reset() {
+    RECORDER.with(|r| r.borrow_mut().reset());
+}
+
+/// Run `f` with mutable access to this thread's recorder (for tests and
+/// exporters; instrumentation sites should use the free functions).
+pub fn with_recorder<T>(f: impl FnOnce(&mut Recorder) -> T) -> T {
+    RECORDER.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Open a span at virtual time `at_us`. Must be matched by a
+/// [`span_exit`]; nesting is tracked per thread.
+#[inline]
+pub fn span_enter(name: &'static str, at_us: u64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().span_enter(name, at_us, None));
+}
+
+/// Open a span carrying a frame index (rendered into the chrome-trace
+/// `args`, so per-frame stages are identifiable in the viewer).
+#[inline]
+pub fn span_enter_frame(name: &'static str, at_us: u64, frame: u64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().span_enter(name, at_us, Some(frame)));
+}
+
+/// Close the innermost open span at virtual time `at_us`.
+#[inline]
+pub fn span_exit(at_us: u64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().span_exit(at_us));
+}
+
+/// Route subsequent spans to a logical lane (a chrome-trace "tid").
+/// Simulations use one lane per participant so fan-out renders as
+/// parallel tracks.
+#[inline]
+pub fn set_lane(lane: u32) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().lane = lane);
+}
+
+/// Add `delta` to a monotonic counter.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().metrics.counter(name, delta));
+}
+
+/// Record an instantaneous gauge observation (last/min/max/mean kept).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().metrics.gauge(name, value));
+}
+
+/// Record a value into a fixed-bucket histogram.
+#[inline]
+pub fn histogram(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().metrics.histogram(name, value));
+}
+
+/// Canonical-JSON metric snapshot of this thread's recorder (sorted
+/// keys; see [`Metrics::to_json`]).
+pub fn snapshot_json() -> holo_runtime::ser::JsonValue {
+    RECORDER.with(|r| r.borrow().metrics.to_json())
+}
+
+/// Render this thread's completed spans as chrome://tracing trace-event
+/// JSON. Deterministic: virtual timestamps only, stable ordering.
+pub fn chrome_trace() -> String {
+    RECORDER.with(|r| chrome::chrome_trace_json(&r.borrow().spans))
+}
+
+/// Summarize this thread's completed spans into a per-stage table.
+pub fn trace_report() -> TraceReport {
+    RECORDER.with(|r| TraceReport::from_spans(&r.borrow().spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The enable flag is process-wide; serialize tests that toggle it.
+    pub(crate) fn flag_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _g = flag_lock();
+        disable();
+        reset();
+        span_enter("s", 0);
+        span_exit(10);
+        counter("c", 1);
+        histogram("h", 1.0);
+        gauge("g", 1.0);
+        with_recorder(|r| {
+            assert!(r.spans.is_empty());
+            assert!(r.metrics.is_empty());
+        });
+    }
+
+    #[test]
+    fn enabled_records_spans_and_metrics() {
+        let _g = flag_lock();
+        enable();
+        reset();
+        span_enter_frame("frame", 100, 3);
+        span_enter("inner", 150);
+        span_exit(250);
+        span_exit(400);
+        counter("c", 2);
+        counter("c", 3);
+        gauge("depth", 4.0);
+        histogram("lat_ms", 0.3);
+        with_recorder(|r| {
+            assert_eq!(r.spans.len(), 2);
+            // Children complete (and are recorded) before parents.
+            assert_eq!(r.spans[0].name, "inner");
+            assert_eq!(r.spans[0].depth, 1);
+            assert_eq!(r.spans[1].name, "frame");
+            assert_eq!(r.spans[1].depth, 0);
+            assert_eq!(r.spans[1].frame, Some(3));
+            assert_eq!(r.metrics.counters.get("c"), Some(&5));
+        });
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn lanes_tag_spans() {
+        let _g = flag_lock();
+        enable();
+        reset();
+        set_lane(7);
+        span_enter("fwd", 0);
+        span_exit(5);
+        with_recorder(|r| assert_eq!(r.spans[0].lane, 7));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = flag_lock();
+        enable();
+        reset();
+        span_enter("s", 0);
+        span_exit(1);
+        counter("c", 1);
+        reset();
+        with_recorder(|r| {
+            assert!(r.spans.is_empty());
+            assert!(r.metrics.is_empty());
+            assert_eq!(r.lane, 0);
+        });
+        disable();
+    }
+}

@@ -1,0 +1,321 @@
+//! Counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are keyed by name in `BTreeMap`s, so the JSON snapshot
+//! iterates in sorted order and renders canonically. Histograms use one
+//! fixed 1–2.5–5 geometric bucket ladder spanning `1e-6 .. 1e6` — wide
+//! enough for ratios, milliseconds, and byte counts alike — so two
+//! histograms are always mergeable and the snapshot shape never depends
+//! on the data. Values recorded from the wall clock (the compression
+//! codecs' timing histograms) are the one deliberately nondeterministic
+//! input; everything else in the recorder is virtual-time only.
+
+use holo_runtime::ser::{JsonValue, ToJson};
+use std::collections::BTreeMap;
+
+/// Upper bounds of the fixed histogram buckets (1–2.5–5 per decade,
+/// `1e-6 ..= 1e6`); values above the last bound land in an overflow
+/// bucket.
+pub const BUCKET_BOUNDS: [f64; 37] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 1e1, 2.5e1, 5e1, 1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3,
+    1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6,
+];
+
+/// A last-value gauge that also keeps min/max/mean of its observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    /// Most recent observation.
+    pub last: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sum of observations (mean = sum / count).
+    pub sum: f64,
+    /// Observation count.
+    pub count: u64,
+}
+
+impl Gauge {
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.last = v;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl ToJson for Gauge {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("last", self.last.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+            ("mean", self.mean().to_json()),
+            ("count", self.count.to_json()),
+        ])
+    }
+}
+
+/// A fixed-bucket histogram over [`BUCKET_BOUNDS`], plus exact
+/// count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Count per bucket (`value <= BUCKET_BOUNDS[i]`, cumulative-free).
+    counts: [u64; BUCKET_BOUNDS.len()],
+    /// Values above the last bound.
+    pub overflow: u64,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKET_BOUNDS.len()],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation (NaN is counted but lands in overflow).
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        match BUCKET_BOUNDS.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        BUCKET_BOUNDS
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the bucket counts:
+    /// the upper bound of the bucket containing the q-th observation
+    /// (`max` for the overflow bucket, `NaN` when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return BUCKET_BOUNDS[i];
+            }
+        }
+        self.max
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> JsonValue {
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(b, c)| JsonValue::Arr(vec![b.to_json(), c.to_json()]))
+            .collect();
+        JsonValue::obj([
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("min", if self.count == 0 { JsonValue::Null } else { self.min.to_json() }),
+            ("max", if self.count == 0 { JsonValue::Null } else { self.max.to_json() }),
+            ("buckets", JsonValue::Arr(buckets)),
+            ("overflow", self.overflow.to_json()),
+        ])
+    }
+}
+
+/// The recorder's metric registry.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Add to a counter, creating it at zero.
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Record a gauge observation.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => g.record(value),
+            None => {
+                let mut g = Gauge::default();
+                g.record(value);
+                self.gauges.insert(name.to_string(), g);
+            }
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn histogram(&mut self, name: &str, value: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// A counter's current value (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Canonical JSON snapshot: `BTreeMap` iteration gives sorted keys,
+    /// so equal metric states render byte-identically.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            (
+                "counters",
+                JsonValue::Obj(
+                    self.counters.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
+            ),
+            (
+                "histograms",
+                JsonValue::Obj(
+                    self.histograms.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_runtime::ser;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.counter("a", 2);
+        m.counter("a", 3);
+        assert_eq!(m.counter_value("a"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_extremes_and_last() {
+        let mut g = Gauge::default();
+        for v in [3.0, -1.0, 2.0] {
+            g.record(v);
+        }
+        assert_eq!(g.last, 2.0);
+        assert_eq!(g.min, -1.0);
+        assert_eq!(g.max, 3.0);
+        assert!((g.mean() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::default();
+        h.record(0.3); // <= 0.5
+        h.record(0.4); // <= 0.5
+        h.record(42.0); // <= 50
+        h.record(5e7); // overflow
+        assert_eq!(h.count, 4);
+        assert_eq!(h.overflow, 1);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0.5, 2), (50.0, 1)]);
+        assert_eq!(h.quantile(0.25), 0.5);
+        assert_eq!(h.quantile(0.75), 50.0);
+        assert_eq!(h.quantile(1.0), 5e7); // overflow resolves to max
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        assert!(Histogram::default().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn snapshot_is_canonical_and_parses() {
+        let mut m = Metrics::default();
+        m.counter("z.late", 1);
+        m.counter("a.early", 2);
+        m.gauge("g", 1.5);
+        m.histogram("h", 0.02);
+        let text = m.to_json().render();
+        // Sorted keys: a.early before z.late.
+        assert!(text.find("a.early").unwrap() < text.find("z.late").unwrap());
+        let back = ser::parse(&text).expect("snapshot parses");
+        assert_eq!(
+            back.get("counters").unwrap().get("a.early").unwrap().as_f64(),
+            Some(2.0)
+        );
+        // Re-render is byte-stable.
+        assert_eq!(text, m.to_json().render());
+    }
+}

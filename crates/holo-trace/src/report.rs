@@ -1,0 +1,149 @@
+//! The per-stage latency summarizer.
+//!
+//! A [`TraceReport`] collapses a recorder's span stream into one row
+//! per stage name — count, total, mean, p50/p95, min/max in
+//! milliseconds — which is what the quickstart example and the benches
+//! print as the "where does the time go" table the paper's evaluation
+//! is built around.
+
+use crate::recorder::SpanEvent;
+use holo_math::Summary;
+use holo_runtime::ser::{JsonValue, ToJson};
+use std::fmt::Write as _;
+
+/// Aggregated latency of one stage (all spans sharing a name).
+#[derive(Debug, Clone)]
+pub struct StageStat {
+    /// Stage (span) name.
+    pub name: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration, ms.
+    pub total_ms: f64,
+    /// Duration distribution, ms (exact percentiles retained).
+    pub ms: Summary,
+}
+
+impl ToJson for StageStat {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("name", self.name.to_json()),
+            ("count", self.count.to_json()),
+            ("total_ms", self.total_ms.to_json()),
+            ("mean_ms", self.ms.mean().to_json()),
+            ("p50_ms", self.ms.percentile(50.0).unwrap_or(f64::NAN).to_json()),
+            ("p95_ms", self.ms.percentile(95.0).unwrap_or(f64::NAN).to_json()),
+            ("max_ms", self.ms.max().to_json()),
+        ])
+    }
+}
+
+/// Per-stage latency summary of a traced run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Stages in order of first appearance in the span stream.
+    pub stages: Vec<StageStat>,
+}
+
+impl TraceReport {
+    /// Aggregate spans by name (first-appearance order).
+    pub fn from_spans(spans: &[SpanEvent]) -> Self {
+        let mut stages: Vec<StageStat> = Vec::new();
+        for span in spans {
+            let stat = match stages.iter_mut().find(|s| s.name == span.name) {
+                Some(s) => s,
+                None => {
+                    stages.push(StageStat {
+                        name: span.name,
+                        count: 0,
+                        total_ms: 0.0,
+                        ms: Summary::with_samples(),
+                    });
+                    stages.last_mut().unwrap()
+                }
+            };
+            let d = span.duration_ms();
+            stat.count += 1;
+            stat.total_ms += d;
+            stat.ms.record(d);
+        }
+        Self { stages }
+    }
+
+    /// Look up a stage by name.
+    pub fn get(&self, name: &str) -> Option<&StageStat> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Render the per-stage latency table (fixed-width columns, one row
+    /// per stage).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "total ms", "mean ms", "p50 ms", "p95 ms", "max ms"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>10.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                s.name,
+                s.count,
+                s.total_ms,
+                s.ms.mean(),
+                s.ms.percentile(50.0).unwrap_or(f64::NAN),
+                s.ms.percentile(95.0).unwrap_or(f64::NAN),
+                s.ms.max(),
+            );
+        }
+        out
+    }
+
+    /// JSON form (stage array, insertion order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([("stages", self.stages.to_json())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, start: u64, end: u64) -> SpanEvent {
+        SpanEvent { name, start_us: start, end_us: end, depth: 0, lane: 0, frame: None }
+    }
+
+    #[test]
+    fn aggregates_by_name_in_first_appearance_order() {
+        let spans = vec![
+            span("extract", 0, 2_000),
+            span("transmit", 2_000, 5_000),
+            span("extract", 10_000, 13_000),
+        ];
+        let r = TraceReport::from_spans(&spans);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].name, "extract");
+        let e = r.get("extract").unwrap();
+        assert_eq!(e.count, 2);
+        assert!((e.total_ms - 5.0).abs() < 1e-9);
+        assert!((e.ms.mean() - 2.5).abs() < 1e-9);
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn table_lists_every_stage() {
+        let spans = vec![span("extract", 0, 1_000), span("render", 1_000, 2_000)];
+        let table = TraceReport::from_spans(&spans).table();
+        assert!(table.contains("extract"));
+        assert!(table.contains("render"));
+        assert!(table.lines().count() == 3, "{table}");
+    }
+
+    #[test]
+    fn json_has_percentiles() {
+        let spans = vec![span("s", 0, 4_000); 10];
+        let j = TraceReport::from_spans(&spans).to_json().render();
+        assert!(j.contains("\"p95_ms\":4"), "{j}");
+    }
+}

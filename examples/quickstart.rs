@@ -10,6 +10,7 @@
 
 use holo_gpu::Device;
 use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::session::{Session, SessionConfig};
 use semholo::{Content, SceneSource, SemHoloConfig, SemanticPipeline};
 
 fn main() {
@@ -58,4 +59,22 @@ fn main() {
         q.chamfer.unwrap() * 1000.0,
         q.f_score.unwrap()
     );
+
+    // 6. Observability: run a short session with the holo-trace recorder
+    // on and show where the milliseconds go. Every span is stamped in
+    // virtual SimTime, so TRACE_quickstart.json is byte-identical across
+    // runs of the same seed (open it in chrome://tracing or Perfetto).
+    let frames = if std::env::var("SEMHOLO_EXAMPLE_QUICK").is_ok() { 5 } else { 30 };
+    let mut session = Session::new(SessionConfig::default());
+    let trace_path = std::path::Path::new("TRACE_quickstart.json");
+    let (report, trace) = session
+        .run_traced(&mut pipeline, &scene, frames, trace_path)
+        .expect("traced session");
+    println!(
+        "\ntraced session: {}/{frames} frames delivered, mean e2e {:.1} ms",
+        report.delivered,
+        report.e2e_ms.mean()
+    );
+    println!("{}", trace.table());
+    println!("chrome://tracing trace written to {}", trace_path.display());
 }

@@ -22,6 +22,28 @@ for example in quickstart remote_collaboration telesurgery \
     cargo run -q --release --offline --example "${example}" >/dev/null
 done
 
+echo "==> trace smoke: SEMHOLO_TRACE=1 quickstart, twice, byte-identical"
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_TRACE=1 \
+  cargo run -q --release --offline --example quickstart >/dev/null
+mv TRACE_quickstart.json /tmp/semholo_trace_run1.json
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_TRACE=1 \
+  cargo run -q --release --offline --example quickstart >/dev/null
+# The chrome trace is stamped in virtual SimTime: same seed, same bytes.
+cmp /tmp/semholo_trace_run1.json TRACE_quickstart.json
+# And it must be valid trace-event JSON with the five stage spans.
+for stage in extract encode transmit decode render; do
+  grep -q "\"name\":\"${stage}\"" TRACE_quickstart.json \
+    || { echo "trace missing stage ${stage}"; exit 1; }
+done
+rm -f /tmp/semholo_trace_run1.json
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+  echo "==> cargo clippy -p holo-trace -- -D warnings"
+  cargo clippy -q --offline -p holo-trace --all-targets -- -D warnings
+else
+  echo "==> clippy unavailable; skipping lint step"
+fi
+
 echo "==> cargo bench -q --offline -- --quick"
 cargo bench -q --offline --workspace -- --quick
 

@@ -1,0 +1,119 @@
+//! Trace determinism: holo-trace's chrome://tracing export is
+//! byte-identical across runs of the same seed, because every span is
+//! stamped in virtual `SimTime` rather than wall clock. These tests pin
+//! that property for both the point-to-point session and the N-party
+//! room, plus the contract that a disabled recorder stays empty.
+
+use holo_conf::{ParticipantConfig, Room, RoomConfig};
+use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::session::{Session, SessionConfig};
+use semholo::{SceneSource, SemHoloConfig, SemanticPipeline};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The enable flag is process-wide; serialize tests that toggle or
+/// observe it so parallel test threads don't race each other.
+static TRACE_FLAG: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_FLAG.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scene() -> SceneSource {
+    let config = SemHoloConfig {
+        capture_resolution: (48, 36),
+        camera_count: 2,
+        ..Default::default()
+    };
+    SceneSource::new(&config, 0.5)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+#[test]
+fn session_trace_is_byte_identical_across_runs() {
+    let _guard = lock();
+    let scene = scene();
+    let run = |path: &Path| {
+        let mut pipeline =
+            KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 3);
+        let mut session = Session::new(SessionConfig::default());
+        session.run_traced(&mut pipeline, &scene, 6, path).unwrap()
+    };
+    let p1 = tmp("semholo_trace_det_session_a.json");
+    let p2 = tmp("semholo_trace_det_session_b.json");
+    let (_, t1) = run(&p1);
+    let (_, t2) = run(&p2);
+    let b1 = std::fs::read(&p1).unwrap();
+    let b2 = std::fs::read(&p2).unwrap();
+    assert!(!b1.is_empty());
+    assert_eq!(b1, b2, "same-seed session traces must be byte-identical");
+    assert_eq!(t1.table(), t2.table());
+    // The five pipeline stages cover every frame.
+    for stage in ["extract", "encode", "transmit", "decode", "render"] {
+        assert_eq!(t1.get(stage).map(|s| s.count), Some(6), "stage {stage}");
+    }
+    holo_runtime::ser::parse(std::str::from_utf8(&b1).unwrap())
+        .expect("chrome trace must be valid JSON");
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn room_trace_is_byte_identical_across_runs() {
+    let _guard = lock();
+    let scene = scene();
+    let run = |path: &Path| {
+        let cfg = RoomConfig {
+            participants: ParticipantConfig::uniform_room(3, 25e6),
+            frames: 4,
+            seed: 11,
+            share_encoder: true,
+            ..Default::default()
+        };
+        let mut room = Room::new(cfg).unwrap();
+        let mut pipes: Vec<Box<dyn SemanticPipeline>> = vec![Box::new(KeypointPipeline::new(
+            KeypointConfig { resolution: 24, ..Default::default() },
+            7,
+        ))];
+        room.run_traced(&scene, &mut pipes, path).unwrap()
+    };
+    let p1 = tmp("semholo_trace_det_room_a.json");
+    let p2 = tmp("semholo_trace_det_room_b.json");
+    let (r1, t1) = run(&p1);
+    let (_, t2) = run(&p2);
+    assert_eq!(r1.participants, 3);
+    let b1 = std::fs::read(&p1).unwrap();
+    let b2 = std::fs::read(&p2).unwrap();
+    assert_eq!(b1, b2, "same-seed room traces must be byte-identical");
+    assert_eq!(t1.table(), t2.table());
+    // 3 senders x 4 frames, each fanned out to 2 subscribers.
+    assert_eq!(t1.get("room.extract").map(|s| s.count), Some(12));
+    assert_eq!(t1.get("room.uplink").map(|s| s.count), Some(12));
+    assert_eq!(t1.get("room.forward").map(|s| s.count), Some(24));
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn disabled_recorder_stays_empty() {
+    let _guard = lock();
+    if holo_trace::enabled() {
+        // SEMHOLO_TRACE=1 in the environment: the disabled-path contract
+        // can't be observed in this process.
+        return;
+    }
+    holo_trace::reset();
+    let scene = scene();
+    let mut pipeline =
+        KeypointPipeline::new(KeypointConfig { resolution: 32, ..Default::default() }, 3);
+    let mut session = Session::new(SessionConfig::default());
+    session.run(&mut pipeline, &scene, 3).unwrap();
+    let (spans, counters) = holo_trace::with_recorder(|r| {
+        (r.spans.len(), r.metrics.counters.len())
+    });
+    assert_eq!(spans, 0, "disabled tracing must record no spans");
+    assert_eq!(counters, 0, "disabled tracing must record no counters");
+}
