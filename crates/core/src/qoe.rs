@@ -83,6 +83,7 @@ mod tests {
                 index: i,
                 payload_bytes: 1000,
                 delivered: i < delivered,
+                recovered: false,
                 extract_ms: 1.0,
                 encode_ms: 0.1,
                 network_ms: 1.0,
@@ -95,6 +96,7 @@ mod tests {
         SessionReport {
             frames,
             delivered,
+            recovered: 0,
             payload: Summary::new(),
             e2e_ms: Summary::new(),
             required_bps: 0.0,

@@ -13,10 +13,11 @@ use crate::semantics::{QualityReport, SemanticPipeline};
 use crate::scene::SceneSource;
 use holo_gpu::Device;
 use holo_math::Summary;
+use holo_net::fault::FaultClock;
 use holo_net::link::{Link, LinkConfig};
 use holo_net::time::SimTime;
 use holo_net::trace::BandwidthTrace;
-use holo_net::transport::{FrameTransport, LossPolicy};
+use holo_net::transport::{FrameTransport, LossPolicy, MTU_PAYLOAD};
 use holo_trace::TraceReport;
 use std::path::Path;
 use std::time::Duration;
@@ -43,6 +44,12 @@ pub struct SessionConfig {
     pub quality_every: usize,
     /// Network seed.
     pub seed: u64,
+    /// Loss-recovery policy on the transport.
+    pub loss_policy: LossPolicy,
+    /// Optional fault schedule installed on the link (see
+    /// `holo_net::fault`): burst loss, bandwidth collapses, flaps,
+    /// delay spikes — all replayed deterministically from the seed.
+    pub fault: Option<FaultClock>,
 }
 
 impl Default for SessionConfig {
@@ -55,6 +62,8 @@ impl Default for SessionConfig {
             render_overhead: Duration::from_millis(11),
             quality_every: 0,
             seed: 1,
+            loss_policy: LossPolicy::RetransmitOnce,
+            fault: None,
         }
     }
 }
@@ -70,6 +79,9 @@ pub struct FrameReport {
     pub payload_bytes: usize,
     /// Whether the frame arrived complete.
     pub delivered: bool,
+    /// Whether delivery needed loss recovery (at least one fragment was
+    /// retransmitted).
+    pub recovered: bool,
     /// Total sender-side time (modeled extraction, including the
     /// payload-serialization tail reported in `encode_ms`).
     pub extract_ms: f64,
@@ -111,6 +123,8 @@ pub struct SessionReport {
     pub frames: Vec<FrameReport>,
     /// Delivered frame count.
     pub delivered: usize,
+    /// Frames that arrived complete only thanks to retransmission.
+    pub recovered: usize,
     /// Payload size summary (bytes).
     pub payload: Summary,
     /// End-to-end latency summary (ms) over delivered frames.
@@ -147,8 +161,11 @@ pub struct Session {
 impl Session {
     /// Create a session over the configured link.
     pub fn new(config: SessionConfig) -> Self {
-        let link = Link::new(config.link.clone(), config.trace.clone(), config.seed);
-        let transport = FrameTransport::new(link, LossPolicy::RetransmitOnce);
+        let mut link = Link::new(config.link.clone(), config.trace.clone(), config.seed);
+        if let Some(f) = &config.fault {
+            link.set_fault(f.clone());
+        }
+        let transport = FrameTransport::new(link, config.loss_policy);
         Self { config, transport }
     }
 
@@ -194,10 +211,15 @@ impl Session {
                 holo_trace::counter("session.frames", 1);
                 holo_trace::histogram("session.payload_bytes", encoded.payload.len() as f64);
             }
+            // A clean delivery sends exactly one fragment per MTU
+            // chunk; anything beyond that was a retransmission.
+            let clean_packets = encoded.payload.len().div_ceil(MTU_PAYLOAD).max(1) as u32;
+            let recovered = tx.complete && tx.packets_sent > clean_packets;
             let mut fr = FrameReport {
                 index: frame.index,
                 payload_bytes: encoded.payload.len(),
                 delivered: tx.complete,
+                recovered,
                 extract_ms: extract.as_secs_f64() * 1000.0,
                 encode_ms: encode_us as f64 / 1000.0,
                 network_ms: tx.latency.map_or(f64::NAN, |l| l.as_secs_f64() * 1000.0),
@@ -216,6 +238,12 @@ impl Session {
                 fr.e2e_ms = fr.extract_ms + fr.network_ms + fr.reconstruct_ms + fr.render_ms;
                 report.e2e_ms.record(fr.e2e_ms);
                 report.delivered += 1;
+                if recovered {
+                    report.recovered += 1;
+                    if tracing {
+                        holo_trace::counter("session.frames_recovered", 1);
+                    }
+                }
                 if tracing {
                     let arrival_us = tx.completed_at.expect("complete implies arrival").0;
                     let recon_end = arrival_us + recon.as_micros() as u64;
@@ -435,6 +463,56 @@ mod tests {
         let text = format!("{copy:?}");
         assert!(text.contains("render_overhead"), "{text}");
         assert_eq!(copy.quality_every, cfg.quality_every);
+    }
+
+    #[test]
+    fn lossy_session_counts_recovered_frames() {
+        use holo_net::fault::LossModel;
+        let scene = scene();
+        // A bursty link with retransmission: some frames must be
+        // recovered (delivered despite fragment loss), and recovered
+        // implies delivered.
+        let mut trad = TraditionalPipeline::new(MeshWire::Raw, 14);
+        let mut session = Session::new(SessionConfig {
+            trace: BandwidthTrace::Constant { bps: 1e9 },
+            fault: Some(FaultClock::new(Some(LossModel::burst5()), Vec::new(), 11)),
+            loss_policy: LossPolicy::RetransmitOnce,
+            ..Default::default()
+        });
+        let report = session.run(&mut trad, &scene, 6).unwrap();
+        assert!(report.recovered > 0, "burst loss on multi-fragment frames must trigger recovery");
+        assert!(report.recovered <= report.delivered);
+        let per_frame = report.frames.iter().filter(|f| f.recovered).count();
+        assert_eq!(per_frame, report.recovered);
+        for f in &report.frames {
+            assert!(!f.recovered || f.delivered, "recovered implies delivered");
+        }
+
+        // The same seed without a fault clock never reports recovery on
+        // a clean link.
+        let mut clean = Session::new(SessionConfig {
+            trace: BandwidthTrace::Constant { bps: 1e9 },
+            ..Default::default()
+        });
+        let clean_report = clean.run(&mut trad, &scene, 6).unwrap();
+        assert_eq!(clean_report.recovered, 0);
+    }
+
+    #[test]
+    fn drop_frame_policy_is_configurable() {
+        use holo_net::fault::LossModel;
+        let scene = scene();
+        let mut trad = TraditionalPipeline::new(MeshWire::Raw, 14);
+        let mut session = Session::new(SessionConfig {
+            trace: BandwidthTrace::Constant { bps: 1e9 },
+            fault: Some(FaultClock::new(Some(LossModel::burst5()), Vec::new(), 11)),
+            loss_policy: LossPolicy::DropFrame,
+            ..Default::default()
+        });
+        let report = session.run(&mut trad, &scene, 6).unwrap();
+        // Without retransmission nothing can be "recovered".
+        assert_eq!(report.recovered, 0);
+        assert!(report.delivered < 6, "burst loss must cost frames under DropFrame");
     }
 
     #[test]

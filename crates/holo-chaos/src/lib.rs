@@ -1,0 +1,37 @@
+//! `holo-chaos`: deterministic fault injection + the resilience layer.
+//!
+//! The transport stack (`holo-net`), the end-to-end session
+//! (`semholo::session`), and the conference SFU (`holo-conf`) all
+//! behave beautifully on clean links. This crate is where they earn
+//! their keep on bad ones. Three pieces:
+//!
+//! * **Fault plans** ([`plan`]) — a small DSL of named, seeded,
+//!   virtual-time impairment scenarios (Gilbert–Elliott burst loss,
+//!   bandwidth collapses, link flaps, delay spikes, participant churn)
+//!   that compile to per-link [`holo_net::fault::FaultClock`]s.
+//! * **Resilience mechanisms** — XOR-parity FEC over frame groups
+//!   ([`fec`]) and RTO-scheduled whole-frame retransmission
+//!   ([`retransmit`]); the third mechanism, the semantic degradation
+//!   ladder, lives in `holo_conf::degrade` where the SFU applies it.
+//! * **The harness** ([`harness`]) — sweeps plans × mechanisms over
+//!   streams, sessions, and rooms and emits a byte-identical
+//!   [`report::ResilienceReport`].
+//!
+//! Everything is deterministic: same seed, same report bytes. That is
+//! what makes chaos testing regression-testable — `scripts/verify.sh`
+//! runs the same seeded scenario twice and byte-compares.
+
+pub mod fec;
+pub mod harness;
+pub mod plan;
+pub mod report;
+pub mod retransmit;
+
+pub use fec::FecConfig;
+pub use harness::{
+    room_collapse_plan, run_room_scenario, run_scenarios, run_session_scenario,
+    run_stream_scenario, Mechanisms, StreamConfig,
+};
+pub use plan::{ChurnEvent, FaultPlan};
+pub use report::{ResilienceReport, RoomOutcome, SessionOutcome, StreamOutcome};
+pub use retransmit::{send_with_retransmit, RetransmitConfig, SendOutcome};

@@ -1,0 +1,223 @@
+//! The `ResilienceReport`: canonical, byte-identical per seed.
+//!
+//! One report covers the whole scenario matrix: point-to-point streams
+//! under plans × mechanisms, `Session` runs under both loss policies,
+//! and `Room` runs exercising the degradation ladder and churn. Every
+//! number comes out of seeded virtual time, and the JSON rendering
+//! uses `holo_runtime::ser`'s deterministic field order and float
+//! formatting — two runs with the same seed render identical bytes
+//! (what `scripts/verify.sh` byte-compares).
+
+use holo_runtime::ser::{JsonValue, ToJson};
+
+/// One point-to-point stream scenario: a fault plan × a mechanism set.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Fault plan name.
+    pub plan: String,
+    /// Mechanism label (`baseline`, `fec(4,1)`, `retransmit`,
+    /// `fec(4,1)+retransmit`).
+    pub mechanism: String,
+    /// Frames offered.
+    pub frames: usize,
+    /// Frames available after recovery (delivered or rebuilt).
+    pub delivered: usize,
+    /// Lost frames rebuilt from FEC parity.
+    pub recovered_fec: usize,
+    /// Frames delivered only thanks to retransmission.
+    pub recovered_retx: usize,
+    /// Frames decodable under the keyframe/delta rules.
+    pub usable: usize,
+    /// `usable / frames`.
+    pub usable_rate: f64,
+    /// Frames available but undecodable (poisoned delta chains).
+    pub poisoned: usize,
+    /// Total wire bytes (payloads, headers, parity, retransmissions).
+    pub wire_bytes: u64,
+    /// `wire_bytes / (frames × payload)` — the protection overhead.
+    pub overhead: f64,
+    /// Mean capture→availability latency of recovered frames, ms
+    /// (0 when nothing needed recovery).
+    pub mean_recovery_ms: f64,
+}
+
+impl ToJson for StreamOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("plan", self.plan.to_json()),
+            ("mechanism", self.mechanism.to_json()),
+            ("frames", self.frames.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("recovered_fec", self.recovered_fec.to_json()),
+            ("recovered_retx", self.recovered_retx.to_json()),
+            ("usable", self.usable.to_json()),
+            ("usable_rate", self.usable_rate.to_json()),
+            ("poisoned", self.poisoned.to_json()),
+            ("wire_bytes", self.wire_bytes.to_json()),
+            ("overhead", self.overhead.to_json()),
+            ("mean_recovery_ms", self.mean_recovery_ms.to_json()),
+        ])
+    }
+}
+
+/// One `core::session` run under a fault plan.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Fault plan name.
+    pub plan: String,
+    /// Transport loss policy (`drop` or `retransmit_once`).
+    pub policy: String,
+    /// Frames offered.
+    pub frames: usize,
+    /// Frames delivered complete.
+    pub delivered: usize,
+    /// Frames delivered only thanks to fragment retransmission.
+    pub recovered: usize,
+}
+
+impl ToJson for SessionOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("plan", self.plan.to_json()),
+            ("policy", self.policy.to_json()),
+            ("frames", self.frames.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("recovered", self.recovered.to_json()),
+        ])
+    }
+}
+
+/// One `holo-conf` room run under a fault plan (ladder and/or churn).
+#[derive(Debug, Clone)]
+pub struct RoomOutcome {
+    /// Fault plan name.
+    pub plan: String,
+    /// Room size.
+    pub participants: usize,
+    /// Worst subscriber usable rate.
+    pub min_usable_rate: f64,
+    /// Usable rate of the faulted/churned participant.
+    pub starved_usable_rate: f64,
+    /// Degraded (below-top-tier) usable frames at the starved port.
+    pub degraded: usize,
+    /// Ladder downgrades at the starved port.
+    pub ladder_downgrades: u64,
+    /// Ladder upgrades at the starved port.
+    pub ladder_upgrades: u64,
+    /// Whether frames kept flowing to the starved subscriber (the
+    /// ladder's no-stall guarantee: usable rate stayed above half).
+    pub kept_flowing: bool,
+}
+
+impl ToJson for RoomOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("plan", self.plan.to_json()),
+            ("participants", self.participants.to_json()),
+            ("min_usable_rate", self.min_usable_rate.to_json()),
+            ("starved_usable_rate", self.starved_usable_rate.to_json()),
+            ("degraded", self.degraded.to_json()),
+            ("ladder_downgrades", self.ladder_downgrades.to_json()),
+            ("ladder_upgrades", self.ladder_upgrades.to_json()),
+            ("kept_flowing", self.kept_flowing.to_json()),
+        ])
+    }
+}
+
+/// The full matrix outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceReport {
+    /// Master seed the whole matrix derives from.
+    pub seed: u64,
+    /// Point-to-point stream scenarios, in sweep order.
+    pub streams: Vec<StreamOutcome>,
+    /// Session scenarios, in sweep order.
+    pub sessions: Vec<SessionOutcome>,
+    /// Room scenarios, in sweep order.
+    pub rooms: Vec<RoomOutcome>,
+}
+
+impl ResilienceReport {
+    /// Find a stream outcome by plan and mechanism label.
+    pub fn stream(&self, plan: &str, mechanism: &str) -> Option<&StreamOutcome> {
+        self.streams.iter().find(|s| s.plan == plan && s.mechanism == mechanism)
+    }
+
+    /// Canonical JSON (deterministic field order and float formatting).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("seed", self.seed.to_json()),
+            ("streams", self.streams.to_json()),
+            ("sessions", self.sessions.to_json()),
+            ("rooms", self.rooms.to_json()),
+        ])
+    }
+
+    /// The canonical report bytes.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_complete() {
+        let report = ResilienceReport {
+            seed: 9,
+            streams: vec![StreamOutcome {
+                plan: "burst5".into(),
+                mechanism: "fec(4,1)+retransmit".into(),
+                frames: 150,
+                delivered: 140,
+                recovered_fec: 4,
+                recovered_retx: 30,
+                usable: 130,
+                usable_rate: 130.0 / 150.0,
+                poisoned: 5,
+                wire_bytes: 4_000_000,
+                overhead: 1.31,
+                mean_recovery_ms: 61.25,
+            }],
+            sessions: vec![SessionOutcome {
+                plan: "burst5".into(),
+                policy: "retransmit_once".into(),
+                frames: 10,
+                delivered: 10,
+                recovered: 2,
+            }],
+            rooms: vec![RoomOutcome {
+                plan: "room_collapse".into(),
+                participants: 3,
+                min_usable_rate: 0.8,
+                starved_usable_rate: 0.8,
+                degraded: 6,
+                ladder_downgrades: 1,
+                ladder_upgrades: 1,
+                kept_flowing: true,
+            }],
+        };
+        let s = report.render();
+        for key in [
+            "seed",
+            "streams",
+            "mechanism",
+            "recovered_fec",
+            "recovered_retx",
+            "poisoned",
+            "sessions",
+            "policy",
+            "rooms",
+            "ladder_downgrades",
+            "kept_flowing",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        assert_eq!(s, report.render());
+        assert!(report.stream("burst5", "fec(4,1)+retransmit").is_some());
+        assert!(report.stream("burst5", "nope").is_none());
+        holo_runtime::ser::parse(&s).expect("canonical JSON parses");
+    }
+}

@@ -1,0 +1,283 @@
+//! The semantic degradation ladder.
+//!
+//! The paper's taxonomy orders semantic representations by richness:
+//! full mesh/NeRF geometry, then keypoints, then text. A subscriber
+//! whose downlink collapses — or whose delta chain is poisoned — should
+//! not stall: the SFU can *degrade* the stream to a cheaper tier whose
+//! frames are self-contained snapshots (a keypoint pose, a caption) and
+//! climb back up once the link has been stable for a window. This is
+//! rate adaptation along the **semantic** axis, orthogonal to the
+//! per-rung bitrate thinning in [`holo_net::abr`]:
+//!
+//! - **Downgrades are immediate.** Starvation (the predicted per-stream
+//!   share falls below a tier's floor) drops straight to the deepest
+//!   tier the share affords; a poisoned delta at the top tier drops one
+//!   tier, because forwarding an undecodable delta wastes the wire.
+//! - **Upgrades are cautious.** The share must clear the richer tier's
+//!   floor for a full stability window, one tier per step — and the
+//!   climb back *into* the top tier waits for a keyframe, the only
+//!   point where the delta chain can re-sync.
+
+use holo_net::time::SimTime;
+use std::time::Duration;
+
+/// A semantic representation tier, richest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticTier {
+    /// Full geometry (mesh / NeRF) stream: keyframes + deltas.
+    Mesh,
+    /// Keypoint skeleton snapshots: self-contained, ~2% of mesh bytes.
+    Keypoints,
+    /// Text captions: self-contained, ~0.2% of mesh bytes.
+    Text,
+}
+
+impl SemanticTier {
+    /// Stable lowercase name (used in reports and trace counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticTier::Mesh => "mesh",
+            SemanticTier::Keypoints => "keypoints",
+            SemanticTier::Text => "text",
+        }
+    }
+}
+
+/// One tier of the ladder: what it costs and when it is affordable.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// The representation shipped at this tier.
+    pub tier: SemanticTier,
+    /// Wire bytes relative to the full-quality frame, in `(0, 1]`.
+    pub payload_fraction: f64,
+    /// Minimum predicted per-stream share (bps) to *stay* at this tier.
+    /// The bottom tier must use `0.0` so some tier is always feasible.
+    pub min_share_bps: f64,
+}
+
+/// The ladder: tiers ordered richest-first, plus the upgrade window.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    /// Tiers, richest (index 0) to cheapest.
+    pub tiers: Vec<TierSpec>,
+    /// How long the share must clear a richer tier's floor before
+    /// climbing one step.
+    pub stability_window: Duration,
+}
+
+impl DegradationLadder {
+    /// The paper's mesh → keypoints → text ladder with floors sized for
+    /// multi-Mbps geometry streams.
+    pub fn standard() -> Self {
+        Self {
+            tiers: vec![
+                TierSpec { tier: SemanticTier::Mesh, payload_fraction: 1.0, min_share_bps: 4.0e6 },
+                TierSpec {
+                    tier: SemanticTier::Keypoints,
+                    payload_fraction: 0.02,
+                    min_share_bps: 120e3,
+                },
+                TierSpec { tier: SemanticTier::Text, payload_fraction: 0.002, min_share_bps: 0.0 },
+            ],
+            stability_window: Duration::from_millis(500),
+        }
+    }
+
+    /// Structural checks: non-empty, fractions in `(0, 1]` and strictly
+    /// descending, floors descending with a zero floor at the bottom.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiers.is_empty() {
+            return Err("degradation ladder needs at least one tier".into());
+        }
+        for w in self.tiers.windows(2) {
+            if w[1].payload_fraction >= w[0].payload_fraction {
+                return Err("tier payload fractions must strictly descend".into());
+            }
+            if w[1].min_share_bps > w[0].min_share_bps {
+                return Err("tier share floors must descend".into());
+            }
+        }
+        for t in &self.tiers {
+            if !(t.payload_fraction > 0.0 && t.payload_fraction <= 1.0) {
+                return Err(format!("tier {} fraction out of (0,1]", t.tier.name()));
+            }
+            if !t.min_share_bps.is_finite() || t.min_share_bps < 0.0 {
+                return Err(format!("tier {} floor must be finite and >= 0", t.tier.name()));
+            }
+        }
+        if self.tiers.last().unwrap().min_share_bps != 0.0 {
+            return Err("bottom tier floor must be 0 so some tier is always feasible".into());
+        }
+        if self.stability_window == Duration::ZERO {
+            return Err("stability window must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-subscriber ladder state machine (see module docs for the rules).
+#[derive(Debug, Clone)]
+pub struct DegradeState {
+    /// The ladder this state walks.
+    pub ladder: DegradationLadder,
+    level: usize,
+    pending_up_since: Option<SimTime>,
+    /// Downgrade transitions taken (starvation or poison).
+    pub downgrades: u64,
+    /// Upgrade transitions taken.
+    pub upgrades: u64,
+}
+
+impl DegradeState {
+    /// Start at the top tier.
+    pub fn new(ladder: DegradationLadder) -> Self {
+        Self { ladder, level: 0, pending_up_since: None, downgrades: 0, upgrades: 0 }
+    }
+
+    /// Current tier index (0 = richest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Current tier spec.
+    pub fn spec(&self) -> &TierSpec {
+        &self.ladder.tiers[self.level]
+    }
+
+    /// Whether frames at the current tier are self-contained snapshots
+    /// (every tier below the top ships snapshots, never deltas).
+    pub fn self_contained(&self) -> bool {
+        self.level > 0
+    }
+
+    /// Advance the state machine for one forwarded frame and return the
+    /// tier index to ship it at. `share_bps` is the predicted
+    /// per-stream downlink share, `poisoned` whether this sender's
+    /// delta chain is currently broken at the subscriber, `is_key`
+    /// whether the offered frame is a keyframe.
+    pub fn decide(&mut self, now: SimTime, share_bps: f64, poisoned: bool, is_key: bool) -> usize {
+        let tiers = &self.ladder.tiers;
+        // Richest tier whose floor the share clears (bottom floor is 0).
+        let feasible =
+            tiers.iter().position(|t| share_bps >= t.min_share_bps).unwrap_or(tiers.len() - 1);
+        if feasible > self.level {
+            // Starvation: drop immediately, as deep as needed.
+            self.level = feasible;
+            self.downgrades += 1;
+            self.pending_up_since = None;
+        } else if poisoned && !is_key && self.level == 0 && tiers.len() > 1 {
+            // A poisoned top-tier delta is undecodable; ship a
+            // self-contained snapshot one tier down instead.
+            self.level = 1;
+            self.downgrades += 1;
+            self.pending_up_since = None;
+        } else if feasible < self.level {
+            // Richer tier affordable: climb one step per stability
+            // window, and into the top tier only at a keyframe.
+            let since = *self.pending_up_since.get_or_insert(now);
+            let target = self.level - 1;
+            if now.saturating_since(since) >= self.ladder.stability_window
+                && (target != 0 || is_key)
+            {
+                self.level = target;
+                self.upgrades += 1;
+                self.pending_up_since = Some(now);
+            }
+        } else {
+            self.pending_up_since = None;
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn standard_ladder_validates() {
+        assert!(DegradationLadder::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_broken_ladders() {
+        let mut l = DegradationLadder::standard();
+        l.tiers[1].payload_fraction = 1.0;
+        assert!(l.validate().is_err(), "non-descending fractions");
+
+        let mut l = DegradationLadder::standard();
+        l.tiers.last_mut().unwrap().min_share_bps = 50e3;
+        assert!(l.validate().is_err(), "non-zero bottom floor");
+
+        let l = DegradationLadder { tiers: vec![], stability_window: Duration::from_millis(1) };
+        assert!(l.validate().is_err(), "empty ladder");
+    }
+
+    #[test]
+    fn starvation_downgrades_immediately_and_as_deep_as_needed() {
+        let mut s = DegradeState::new(DegradationLadder::standard());
+        assert_eq!(s.decide(ms(0), 10e6, false, true), 0, "healthy share stays at mesh");
+        // Share collapses below even the keypoint floor: straight to text.
+        assert_eq!(s.decide(ms(33), 50e3, false, false), 2);
+        assert_eq!(s.downgrades, 1);
+        assert!(s.self_contained());
+    }
+
+    #[test]
+    fn upgrades_wait_for_the_stability_window_and_a_keyframe() {
+        let mut s = DegradeState::new(DegradationLadder::standard());
+        s.decide(ms(0), 50e3, false, true); // -> text
+        assert_eq!(s.level(), 2);
+        // Share recovers; first sighting starts the window, no climb yet.
+        assert_eq!(s.decide(ms(100), 10e6, false, false), 2);
+        // Window (500 ms) not yet elapsed.
+        assert_eq!(s.decide(ms(400), 10e6, false, false), 2);
+        // Window elapsed: climb one step (to keypoints), not two.
+        assert_eq!(s.decide(ms(700), 10e6, false, false), 1);
+        // Next window elapses on a delta: top tier must wait for a key.
+        assert_eq!(s.decide(ms(1300), 10e6, false, false), 1);
+        // Keyframe arrives with the window satisfied: back to mesh.
+        assert_eq!(s.decide(ms(1400), 10e6, false, true), 0);
+        assert_eq!(s.upgrades, 2);
+    }
+
+    #[test]
+    fn a_dip_resets_the_upgrade_window() {
+        let mut s = DegradeState::new(DegradationLadder::standard());
+        s.decide(ms(0), 200e3, false, true); // -> keypoints
+        assert_eq!(s.level(), 1);
+        s.decide(ms(100), 10e6, false, false); // window starts
+        s.decide(ms(300), 200e3, false, false); // dip: window resets
+        // 500 ms after the *first* sighting, but the dip reset the clock.
+        assert_eq!(s.decide(ms(650), 10e6, false, true), 1);
+        assert_eq!(s.decide(ms(1200), 10e6, false, true), 0, "window re-earned");
+    }
+
+    #[test]
+    fn poisoned_top_tier_delta_drops_one_tier() {
+        let mut s = DegradeState::new(DegradationLadder::standard());
+        assert_eq!(s.decide(ms(0), 10e6, true, false), 1, "poisoned delta degrades");
+        assert_eq!(s.downgrades, 1);
+        // Poison below the top tier is impossible (snapshots) and must
+        // not push deeper.
+        assert_eq!(s.decide(ms(33), 10e6, true, false), 1);
+        assert_eq!(s.downgrades, 1);
+        // A poisoned *keyframe* offer at the top is fine: keys re-sync.
+        let mut s2 = DegradeState::new(DegradationLadder::standard());
+        assert_eq!(s2.decide(ms(0), 10e6, true, true), 0);
+    }
+
+    #[test]
+    fn bottom_tier_is_always_feasible() {
+        let mut s = DegradeState::new(DegradationLadder::standard());
+        assert_eq!(s.decide(ms(0), 0.0, false, false), 2);
+        // Zero share forever: stays at text, never panics or stalls.
+        for i in 1..100 {
+            assert_eq!(s.decide(ms(i * 33), 0.0, false, i % 10 == 0), 2);
+        }
+    }
+}

@@ -90,6 +90,14 @@ impl DependencyTracker {
         self.prev_index = Some(index);
         usable
     }
+
+    /// Whether the chain is currently broken: at least one frame has
+    /// been walked and the most recent one was unusable, so the next
+    /// delta is doomed before it is even offered. A fresh tracker is
+    /// not poisoned (the stream just hasn't started).
+    pub fn poisoned(&self) -> bool {
+        self.prev_index.is_some() && !self.prev_usable
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +141,46 @@ mod tests {
         assert!(dep.advance(0, FrameTag::Key, true));
         // Frame 1 never offered (e.g. uplink drop): frame 2's base is gone.
         assert!(!dep.advance(2, FrameTag::Delta, true));
+    }
+
+    #[test]
+    fn key_lost_then_immediately_rekeyed_poisons_exactly_one_frame() {
+        let mut dep = DependencyTracker::new();
+        assert!(!dep.advance(0, FrameTag::Key, false));
+        assert!(dep.poisoned());
+        // The very next frame is a key again (e.g. sender re-keys on
+        // NACK): the poison window is exactly the one lost frame.
+        assert!(dep.advance(1, FrameTag::Key, true));
+        assert!(!dep.poisoned());
+        assert!(dep.advance(2, FrameTag::Delta, true));
+    }
+
+    #[test]
+    fn two_consecutive_lost_keys_poison_exactly_two_gops() {
+        let interval = 4;
+        let mut dep = DependencyTracker::new();
+        let mut unusable = Vec::new();
+        // Keys at 0, 4, 8; lose both 0 and 4, deliver everything else.
+        for index in 0..12 {
+            let tag = FrameTag::for_index(index, interval);
+            let delivered = index != 0 && index != 4;
+            if !dep.advance(index, tag, delivered) {
+                unusable.push(index);
+            }
+        }
+        // Exactly two full GOPs are gone; the key at 8 recovers.
+        assert_eq!(unusable, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn delta_before_its_base_stays_unusable_until_the_next_key() {
+        let mut dep = DependencyTracker::new();
+        assert!(dep.advance(0, FrameTag::Key, true));
+        // Frame 2 arrives while its base (frame 1) never did: the delta
+        // is undecodable, and so is everything until the next key.
+        assert!(!dep.advance(2, FrameTag::Delta, true));
+        assert!(dep.poisoned());
+        assert!(!dep.advance(3, FrameTag::Delta, true));
+        assert!(dep.advance(4, FrameTag::Key, true), "poison window is exactly [2, 4)");
     }
 }

@@ -22,8 +22,13 @@
 //!   explicit drop policy (tail-drop or keyframe-preserving).
 //! - [`sfu`] — the forwarder: per-subscriber ports, each with its own
 //!   `AbrController` thinning the stream to the downlink's share.
+//! - [`degrade`] — the semantic degradation ladder (mesh → keypoints →
+//!   text): starved or poisoned subscribers drop to self-contained
+//!   snapshot tiers instead of stalling, and climb back after a
+//!   stability window.
 //! - [`room`] — the seeded event loop over `SimTime` driving captures,
-//!   uplinks, and fan-outs; emits a [`RoomReport`].
+//!   uplinks, and fan-outs; emits a [`RoomReport`]. Participants can
+//!   join/leave mid-run (churn) and carry per-link fault clocks.
 //! - [`report`] — per-subscriber latency/stall/usable-rate
 //!   distributions, Jain fairness, queue occupancy; byte-identical
 //!   rendering per seed.
@@ -31,6 +36,7 @@
 //!   validated against `core::conference`'s closed-form bound.
 
 pub mod capacity;
+pub mod degrade;
 pub mod frame;
 pub mod participant;
 pub mod queue;
@@ -41,9 +47,10 @@ pub mod sfu;
 pub use capacity::{
     measure_max_room_size, CapacityConfig, CapacityCriteria, CapacityMeasurement, CapacityProbe,
 };
+pub use degrade::{DegradationLadder, DegradeState, SemanticTier, TierSpec};
 pub use frame::{DependencyTracker, FrameTag, StreamFrame};
 pub use participant::ParticipantConfig;
 pub use queue::{DropPolicy, EgressQueue};
 pub use report::{jain_index, RoomReport, SubscriberReport};
 pub use room::{Room, RoomConfig};
-pub use sfu::{ForwardOutcome, Sfu, SubscriberPort};
+pub use sfu::{ForwardOutcome, ForwardRecord, Sfu, SubscriberPort};

@@ -7,6 +7,7 @@
 //! per-subscriber adaptation (and this crate) exists to show.
 
 use holo_gpu::Device;
+use holo_net::fault::FaultClock;
 use holo_net::link::LinkConfig;
 use holo_net::trace::BandwidthTrace;
 use std::time::Duration;
@@ -28,6 +29,14 @@ pub struct ParticipantConfig {
     pub uplink_seed: Option<u64>,
     /// Explicit downlink RNG seed (default: derived from the room seed).
     pub downlink_seed: Option<u64>,
+    /// Presence window `(join_s, leave_s)` in room time; `None` means
+    /// present for the whole run. Outside the window the participant
+    /// neither captures nor receives (join/leave churn).
+    pub active: Option<(f64, f64)>,
+    /// Fault schedule installed on the uplink (see `holo_net::fault`).
+    pub uplink_fault: Option<FaultClock>,
+    /// Fault schedule installed on the downlink.
+    pub downlink_fault: Option<FaultClock>,
 }
 
 impl ParticipantConfig {
@@ -42,6 +51,9 @@ impl ParticipantConfig {
             device: Device::a100(),
             uplink_seed: None,
             downlink_seed: None,
+            active: None,
+            uplink_fault: None,
+            downlink_fault: None,
         }
     }
 
@@ -63,12 +75,24 @@ impl ParticipantConfig {
             device: Device::a100(),
             uplink_seed: None,
             downlink_seed: None,
+            active: None,
+            uplink_fault: None,
+            downlink_fault: None,
         }
     }
 
     /// `n` identical symmetric participants.
     pub fn uniform_room(n: usize, access_bps: f64) -> Vec<Self> {
         vec![Self::symmetric(access_bps); n]
+    }
+
+    /// Whether the participant is present at room time `t_secs` (the
+    /// presence window is half-open: `join <= t < leave`).
+    pub fn active_at(&self, t_secs: f64) -> bool {
+        match self.active {
+            None => true,
+            Some((join, leave)) => t_secs >= join && t_secs < leave,
+        }
     }
 }
 
@@ -93,5 +117,16 @@ mod tests {
         let p = ParticipantConfig::ideal();
         assert_eq!(p.uplink.propagation, Duration::ZERO);
         assert_eq!(p.uplink.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn presence_window_is_half_open() {
+        let mut p = ParticipantConfig::symmetric(25e6);
+        assert!(p.active_at(0.0), "no window means always present");
+        p.active = Some((0.5, 1.5));
+        assert!(!p.active_at(0.49));
+        assert!(p.active_at(0.5));
+        assert!(p.active_at(1.49));
+        assert!(!p.active_at(1.5));
     }
 }

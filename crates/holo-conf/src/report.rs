@@ -53,6 +53,13 @@ pub struct SubscriberReport {
     /// Mean ladder-rung fraction the SFU forwarded to this subscriber
     /// (1.0 = always full quality).
     pub mean_rung_fraction: f64,
+    /// Usable frames that arrived as degraded (below-top-tier)
+    /// snapshots.
+    pub degraded: usize,
+    /// Semantic-ladder downgrade transitions taken at this port.
+    pub ladder_downgrades: u64,
+    /// Semantic-ladder upgrade transitions taken at this port.
+    pub ladder_upgrades: u64,
 }
 
 impl ToJson for SubscriberReport {
@@ -72,6 +79,9 @@ impl ToJson for SubscriberReport {
             ("sfu_dropped", self.sfu_dropped.to_json()),
             ("downlink_lost", self.downlink_lost.to_json()),
             ("mean_rung_fraction", self.mean_rung_fraction.to_json()),
+            ("degraded", self.degraded.to_json()),
+            ("ladder_downgrades", self.ladder_downgrades.to_json()),
+            ("ladder_upgrades", self.ladder_upgrades.to_json()),
         ])
     }
 }

@@ -10,6 +10,7 @@
 //! randomness flows from the room seed, and the emitted
 //! [`RoomReport`] reproduces byte-identically.
 
+use crate::degrade::DegradationLadder;
 use crate::frame::{DependencyTracker, FrameTag, StreamFrame};
 use crate::participant::ParticipantConfig;
 use crate::queue::DropPolicy;
@@ -45,6 +46,9 @@ pub struct RoomConfig {
     pub drop_policy: DropPolicy,
     /// Per-subscriber thinning ladder; `None` forwards full quality.
     pub ladder: Option<Ladder>,
+    /// Semantic degradation ladder (mesh → keypoints → text); `None`
+    /// always ships the top tier.
+    pub degrade: Option<DegradationLadder>,
     /// ABR safety margin (fraction of predicted bandwidth used).
     pub abr_safety: f64,
     /// Uplink loss policy (sender -> SFU).
@@ -73,6 +77,7 @@ impl Default for RoomConfig {
             queue_capacity: 8,
             drop_policy: DropPolicy::TailDrop,
             ladder: None,
+            degrade: None,
             abr_safety: 0.8,
             uplink_policy: LossPolicy::RetransmitOnce,
             downlink_policy: LossPolicy::DropFrame,
@@ -166,7 +171,10 @@ impl Room {
             .enumerate()
             .map(|(i, p)| {
                 let seed = p.uplink_seed.unwrap_or_else(|| derive_seed(cfg.seed, i as u64 * 2));
-                let link = Link::new(p.uplink.clone(), p.uplink_trace.clone(), seed);
+                let mut link = Link::new(p.uplink.clone(), p.uplink_trace.clone(), seed);
+                if let Some(f) = &p.uplink_fault {
+                    link.set_fault(f.clone());
+                }
                 FrameTransport::new(link, cfg.uplink_policy)
             })
             .collect();
@@ -177,7 +185,11 @@ impl Room {
             .map(|(i, p)| {
                 let seed =
                     p.downlink_seed.unwrap_or_else(|| derive_seed(cfg.seed, i as u64 * 2 + 1));
-                Link::new(p.downlink.clone(), p.downlink_trace.clone(), seed)
+                let mut link = Link::new(p.downlink.clone(), p.downlink_trace.clone(), seed);
+                if let Some(f) = &p.downlink_fault {
+                    link.set_fault(f.clone());
+                }
+                link
             })
             .collect();
         let mut sfu = Sfu::new(
@@ -187,13 +199,15 @@ impl Room {
             cfg.drop_policy,
             cfg.ladder.clone(),
             cfg.abr_safety,
+            cfg.degrade.clone(),
         )
         .map_err(SemHoloError::Config)?;
 
         // --- The event loop. ---
         // meta[sender][index]; arrivals[subscriber][sender][index].
         let mut meta: Vec<Vec<Option<FrameMeta>>> = vec![vec![None; cfg.frames]; n];
-        let mut arrivals: Vec<Vec<Vec<Option<SimTime>>>> =
+        // arrivals[subscriber][sender][index] = (arrival, self_contained).
+        let mut arrivals: Vec<Vec<Vec<Option<(SimTime, bool)>>>> =
             vec![vec![vec![None; cfg.frames]; n]; n];
         let mut shared_cache: Vec<Option<FrameMeta>> = vec![None; cfg.frames];
         let mut uplink_lost = 0u64;
@@ -208,7 +222,11 @@ impl Room {
         for index in 0..cfg.frames {
             let at = SimTime::from_secs_f64(index as f64 * frame_interval);
             for sender in 0..n {
-                push(&mut heap, &mut seq, at, EventKind::Capture(sender, index));
+                // A participant outside its presence window captures
+                // nothing — the frame simply never exists (churn).
+                if cfg.participants[sender].active_at(at.as_secs_f64()) {
+                    push(&mut heap, &mut seq, at, EventKind::Capture(sender, index));
+                }
             }
         }
 
@@ -265,11 +283,17 @@ impl Room {
                         extract_ms: m.extract.time_on(device)?.as_secs_f64() * 1000.0,
                         recon: m.recon,
                     };
-                    for (s, outcome) in sfu.fan_out(&frame, event.at) {
-                        if let ForwardOutcome::DeliveredAt(t) = outcome {
-                            arrivals[s][sender][index] = Some(t);
+                    // Presence can have changed since the last ingress:
+                    // refresh the SFU's masks before fanning out.
+                    for (i, p) in cfg.participants.iter().enumerate() {
+                        sfu.set_active(i, p.active_at(event.at.as_secs_f64()));
+                    }
+                    for rec in sfu.fan_out(&frame, event.at) {
+                        if let ForwardOutcome::DeliveredAt(t) = rec.outcome {
+                            arrivals[rec.subscriber][sender][index] =
+                                Some((t, rec.self_contained));
                             if tracing {
-                                holo_trace::set_lane(s as u32);
+                                holo_trace::set_lane(rec.subscriber as u32);
                                 holo_trace::span_enter_frame(
                                     "room.forward",
                                     event.at.0,
@@ -289,8 +313,10 @@ impl Room {
         for s in 0..n {
             let device = &cfg.participants[s].device;
             let mut e2e = Summary::with_samples();
+            let mut expected = 0usize;
             let mut delivered = 0usize;
             let mut usable = 0usize;
+            let mut degraded = 0usize;
             let mut within = 0usize;
             let mut stall_ms = 0.0f64;
             for u in 0..n {
@@ -300,16 +326,34 @@ impl Room {
                 let mut dep = DependencyTracker::new();
                 let mut last_usable_arrival: Option<SimTime> = None;
                 for index in 0..cfg.frames {
+                    // A frame counts against this pair only if the
+                    // sender captured it and the subscriber was present
+                    // to receive it (churn windows).
+                    let cap_t = index as f64 * frame_interval;
+                    if !cfg.participants[u].active_at(cap_t)
+                        || !cfg.participants[s].active_at(cap_t)
+                    {
+                        continue;
+                    }
+                    expected += 1;
                     let arrived = arrivals[s][u][index];
                     if arrived.is_some() {
                         delivered += 1;
                     }
-                    let tag = FrameTag::for_index(index, cfg.keyframe_interval);
+                    // Degraded tiers ship self-contained snapshots:
+                    // they decode like keyframes.
+                    let tag = match arrived {
+                        Some((_, true)) => FrameTag::Key,
+                        _ => FrameTag::for_index(index, cfg.keyframe_interval),
+                    };
                     if !dep.advance(index, tag, arrived.is_some()) {
                         continue;
                     }
                     usable += 1;
-                    let arrival = arrived.expect("usable implies delivered");
+                    let (arrival, self_contained) = arrived.expect("usable implies delivered");
+                    if self_contained {
+                        degraded += 1;
+                    }
                     let m = meta[u][index].as_ref().expect("delivered implies encoded");
                     let recon_ms = m.recon.time_on(device)?.as_secs_f64() * 1000.0;
                     let latency_ms =
@@ -327,7 +371,6 @@ impl Room {
                     last_usable_arrival = Some(arrival);
                 }
             }
-            let expected = (n - 1) * cfg.frames;
             let port = &sfu.ports[s];
             subscribers.push(SubscriberReport {
                 id: s,
@@ -345,6 +388,9 @@ impl Room {
                 } else {
                     1.0
                 },
+                degraded,
+                ladder_downgrades: port.degrade.as_ref().map_or(0, |d| d.downgrades),
+                ladder_upgrades: port.degrade.as_ref().map_or(0, |d| d.upgrades),
             });
         }
 
@@ -539,6 +585,74 @@ mod tests {
         let chrome = std::fs::read_to_string(&path).unwrap();
         holo_runtime::ser::parse(&chrome).expect("trace must be valid JSON");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn churned_participant_shrinks_expectations_not_others_streams() {
+        let scene = scene();
+        let fps = scene.context().config.fps as f64;
+        let mut participants = ParticipantConfig::uniform_room(3, 25e6);
+        // Participant 2 leaves after ~5 of 10 frames.
+        let leave = 5.0 / fps;
+        participants[2].active = Some((0.0, leave - 1e-9));
+        let cfg = RoomConfig {
+            participants,
+            frames: 10,
+            share_encoder: true,
+            ..Default::default()
+        };
+        let mut room = Room::new(cfg).unwrap();
+        let report = room.run(&scene, &mut vec![kp()]).unwrap();
+        // Subscribers 0 and 1 expect 10 from each other + 5 from the
+        // early leaver; subscriber 2 expects 5 from each of the others.
+        assert_eq!(report.subscribers[0].expected, 15);
+        assert_eq!(report.subscribers[1].expected, 15);
+        assert_eq!(report.subscribers[2].expected, 10);
+        // Clean links: everything expected is delivered and usable.
+        for sub in &report.subscribers {
+            assert_eq!(sub.usable, sub.expected, "subscriber {}", sub.id);
+        }
+    }
+
+    #[test]
+    fn bandwidth_collapse_degrades_instead_of_stalling() {
+        use crate::degrade::DegradationLadder;
+        use holo_net::fault::{FaultClock, FaultEffect, FaultSegment};
+
+        let scene = scene();
+        let mut participants = ParticipantConfig::uniform_room(3, 25e6);
+        // Participant 2's downlink collapses to 0.2% capacity (~50 kbps)
+        // for the whole run.
+        participants[2].downlink_fault = Some(FaultClock::new(
+            None,
+            vec![FaultSegment {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs_f64(1e6),
+                effect: FaultEffect::BandwidthScale(0.002),
+            }],
+            7,
+        ));
+        let cfg = RoomConfig {
+            participants,
+            frames: 12,
+            degrade: Some(DegradationLadder::standard()),
+            share_encoder: true,
+            ..Default::default()
+        };
+        let mut room = Room::new(cfg).unwrap();
+        let report = room.run(&scene, &mut vec![kp()]).unwrap();
+        let starved = &report.subscribers[2];
+        assert!(starved.ladder_downgrades >= 1, "ladder never engaged");
+        assert!(starved.degraded > 0, "no degraded frames reached the subscriber");
+        // The point of the ladder: frames keep flowing.
+        assert!(
+            starved.usable_rate > 0.5,
+            "degraded stream still mostly usable, got {}",
+            starved.usable_rate
+        );
+        // Healthy subscribers are untouched.
+        assert_eq!(report.subscribers[0].degraded, 0);
+        assert_eq!(report.subscribers[0].usable, report.subscribers[0].expected);
     }
 
     #[test]

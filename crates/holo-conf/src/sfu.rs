@@ -10,7 +10,8 @@
 //! codecs (slimmable NeRF widths, token channels). Slow downlinks get
 //! lower rungs; fast ones get the full stream.
 
-use crate::frame::StreamFrame;
+use crate::degrade::{DegradationLadder, DegradeState, SemanticTier};
+use crate::frame::{DependencyTracker, FrameTag, StreamFrame};
 use crate::queue::{DropPolicy, EgressQueue};
 use holo_net::abr::{AbrController, Ladder};
 use holo_net::link::Link;
@@ -31,6 +32,24 @@ pub enum ForwardOutcome {
     DeliveredAt(SimTime),
 }
 
+/// Full record of one fan-out copy: where it went, how it fared, and
+/// what the degradation ladder did to it on the way out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForwardRecord {
+    /// Receiving participant.
+    pub subscriber: usize,
+    /// What happened on the egress path.
+    pub outcome: ForwardOutcome,
+    /// Semantic tier the frame was shipped at.
+    pub tier: SemanticTier,
+    /// Whether the shipped frame was a self-contained snapshot (any
+    /// tier below the top): it decodes regardless of the delta chain.
+    pub self_contained: bool,
+    /// Wire bytes relative to the full-quality frame (ABR rung or tier
+    /// fraction, whichever applied).
+    pub fraction: f64,
+}
+
 /// One subscriber's egress state at the SFU.
 pub struct SubscriberPort {
     /// Downlink transport (SFU -> subscriber).
@@ -43,52 +62,106 @@ pub struct SubscriberPort {
     pub predictor: EwmaPredictor,
     /// Rung fraction (forwarded bytes / full bytes) per forward.
     pub rung_fraction: Summary,
+    /// Semantic degradation ladder state; `None` always ships the top
+    /// tier.
+    pub degrade: Option<DegradeState>,
+    /// Per-sender delta-chain trackers mirroring what this subscriber
+    /// can decode, updated online as forwards resolve (the ladder's
+    /// poison signal).
+    pub chains: Vec<DependencyTracker>,
 }
 
 impl SubscriberPort {
     /// Build a port over a downlink.
-    pub fn new(link: Link, policy: LossPolicy, queue: EgressQueue, abr: Option<AbrController>) -> Self {
+    pub fn new(
+        link: Link,
+        policy: LossPolicy,
+        queue: EgressQueue,
+        abr: Option<AbrController>,
+        degrade: Option<DegradeState>,
+    ) -> Self {
         Self {
             transport: FrameTransport::new(link, policy),
             queue,
             abr,
             predictor: EwmaPredictor::new(0.3),
             rung_fraction: Summary::new(),
+            degrade,
+            chains: Vec::new(),
         }
     }
 
-    /// Forward one frame to this subscriber at `now`. `share` divides
-    /// the predicted downlink bandwidth among the room's streams (N-1).
-    pub fn forward(&mut self, frame: &StreamFrame, now: SimTime, share: usize) -> ForwardOutcome {
-        // Predict this stream's share of the downlink.
-        self.predictor.observe(self.transport.link.trace.bps_at(now.as_secs_f64()));
+    /// Forward one frame to this subscriber (`subscriber` is its id) at
+    /// `now`. `share` divides the predicted downlink bandwidth among
+    /// the room's streams (N-1).
+    pub fn forward(
+        &mut self,
+        subscriber: usize,
+        frame: &StreamFrame,
+        now: SimTime,
+        share: usize,
+    ) -> ForwardRecord {
+        // Predict this stream's share of the downlink. The effective
+        // rate folds in any installed fault clock, so the ladder and
+        // ABR react to injected bandwidth collapses too.
+        self.predictor.observe(self.transport.link.effective_bps_at(now.as_secs_f64()));
         let per_stream_bps = self.predictor.predict() / share.max(1) as f64;
 
-        // Thin to the rung the share can carry.
-        let fraction = match &mut self.abr {
-            Some(abr) => {
-                let top = abr.ladder.top().bitrate_bps;
-                let rung = abr.decide(per_stream_bps);
-                (rung.bitrate_bps / top).clamp(0.0, 1.0)
+        if frame.sender >= self.chains.len() {
+            self.chains.resize_with(frame.sender + 1, DependencyTracker::new);
+        }
+        let poisoned = self.chains[frame.sender].poisoned();
+
+        // The semantic ladder picks a tier; degraded tiers ship
+        // self-contained snapshots at a fixed fraction of the payload.
+        let (tier, self_contained, tier_fraction) = match &mut self.degrade {
+            Some(d) => {
+                let level = d.decide(now, per_stream_bps, poisoned, frame.tag.is_key());
+                let spec = &d.ladder.tiers[level];
+                (spec.tier, level > 0, spec.payload_fraction)
             }
-            None => 1.0,
+            None => (SemanticTier::Mesh, false, 1.0),
+        };
+
+        // ABR bitrate thinning applies at the top (full-fidelity) tier;
+        // degraded tiers are already far below any rung.
+        let fraction = if self_contained {
+            tier_fraction
+        } else {
+            match &mut self.abr {
+                Some(abr) => {
+                    let top = abr.ladder.top().bitrate_bps;
+                    let rung = abr.decide(per_stream_bps);
+                    (rung.bitrate_bps / top).clamp(0.0, 1.0)
+                }
+                None => 1.0,
+            }
         };
         self.rung_fraction.record(fraction);
         let wire_bytes = ((frame.payload_bytes as f64 * fraction).round() as usize).max(32);
 
-        // Backpressure at the egress queue.
-        if !self.queue.admit(now, frame.tag.is_key()) {
-            return ForwardOutcome::QueueDropped;
-        }
-        let result = self.transport.send_frame_sized(wire_bytes, now);
-        // The frame occupies the egress port until its serialization
-        // backlog clears the link.
-        let backlog_done = now + self.transport.link.queue_delay(now);
-        self.queue.commit(backlog_done);
-        match result.completed_at {
-            Some(t) if result.complete => ForwardOutcome::DeliveredAt(t),
-            _ => ForwardOutcome::DownlinkLost,
-        }
+        // Backpressure at the egress queue (snapshots count as keys:
+        // they reset the subscriber's view exactly like one).
+        let outcome = if !self.queue.admit(now, frame.tag.is_key() || self_contained) {
+            ForwardOutcome::QueueDropped
+        } else {
+            let result = self.transport.send_frame_sized(wire_bytes, now);
+            // The frame occupies the egress port until its serialization
+            // backlog clears the link.
+            let backlog_done = now + self.transport.link.queue_delay(now);
+            self.queue.commit(backlog_done);
+            match result.completed_at {
+                Some(t) if result.complete => ForwardOutcome::DeliveredAt(t),
+                _ => ForwardOutcome::DownlinkLost,
+            }
+        };
+
+        // Keep the online chain mirror in step with what just happened.
+        let delivered = matches!(outcome, ForwardOutcome::DeliveredAt(_));
+        let effective_tag = if self_contained { FrameTag::Key } else { frame.tag };
+        self.chains[frame.sender].advance(frame.index, effective_tag, delivered);
+
+        ForwardRecord { subscriber, outcome, tier, self_contained, fraction }
     }
 }
 
@@ -96,12 +169,17 @@ impl SubscriberPort {
 pub struct Sfu {
     /// Egress ports, indexed by participant id.
     pub ports: Vec<SubscriberPort>,
+    /// Participant presence mask: inactive subscribers receive nothing
+    /// (churn — a left participant's port idles until rejoin).
+    pub active: Vec<bool>,
     /// Frames offered for forwarding (per-subscriber fan-out counted).
     pub forwarded: u64,
     /// Fan-outs rejected by egress queues.
     pub queue_dropped: u64,
     /// Fan-outs lost on downlinks.
     pub downlink_lost: u64,
+    /// Fan-outs shipped below the top semantic tier.
+    pub degraded: u64,
 }
 
 impl Sfu {
@@ -114,8 +192,13 @@ impl Sfu {
         drop_policy: DropPolicy,
         ladder: Option<Ladder>,
         abr_safety: f64,
+        degrade: Option<DegradationLadder>,
     ) -> Result<Self, String> {
-        let mut ports = Vec::with_capacity(downlinks.len());
+        if let Some(d) = &degrade {
+            d.validate()?;
+        }
+        let n = downlinks.len();
+        let mut ports = Vec::with_capacity(n);
         for link in downlinks {
             let abr = match &ladder {
                 Some(l) => Some(AbrController::new(l.clone(), abr_safety)?),
@@ -126,45 +209,76 @@ impl Sfu {
                 policy,
                 EgressQueue::new(queue_capacity, drop_policy),
                 abr,
+                degrade.clone().map(DegradeState::new),
             ));
         }
-        Ok(Self { ports, forwarded: 0, queue_dropped: 0, downlink_lost: 0 })
+        Ok(Self {
+            ports,
+            active: vec![true; n],
+            forwarded: 0,
+            queue_dropped: 0,
+            downlink_lost: 0,
+            degraded: 0,
+        })
     }
 
-    /// Fan one ingress frame out to every subscriber except the sender.
-    /// Returns `(subscriber, outcome)` for each forwarded copy, in
+    /// Mark a participant present or absent (join/leave churn).
+    pub fn set_active(&mut self, participant: usize, active: bool) {
+        if participant < self.active.len() {
+            self.active[participant] = active;
+        }
+    }
+
+    /// Fan one ingress frame out to every *active* subscriber except
+    /// the sender. Returns one [`ForwardRecord`] per copy, in
     /// subscriber order (deterministic).
-    pub fn fan_out(&mut self, frame: &StreamFrame, now: SimTime) -> Vec<(usize, ForwardOutcome)> {
+    pub fn fan_out(&mut self, frame: &StreamFrame, now: SimTime) -> Vec<ForwardRecord> {
         let n = self.ports.len();
         let share = n.saturating_sub(1);
         let tracing = holo_trace::enabled();
-        let mut outcomes = Vec::with_capacity(share);
-        for (s, port) in self.ports.iter_mut().enumerate() {
-            if s == frame.sender {
+        let mut records = Vec::with_capacity(share);
+        for s in 0..n {
+            if s == frame.sender || !self.active[s] {
                 continue;
             }
             self.forwarded += 1;
-            let outcome = port.forward(frame, now, share);
-            match outcome {
+            let port = &mut self.ports[s];
+            let ladder_before = port.degrade.as_ref().map(|d| (d.downgrades, d.upgrades));
+            let record = port.forward(s, frame, now, share);
+            match record.outcome {
                 ForwardOutcome::QueueDropped => self.queue_dropped += 1,
                 ForwardOutcome::DownlinkLost => self.downlink_lost += 1,
                 ForwardOutcome::DeliveredAt(_) => {}
             }
+            if record.self_contained {
+                self.degraded += 1;
+            }
             if tracing {
                 holo_trace::counter("sfu.forwarded", 1);
-                match outcome {
+                match record.outcome {
                     ForwardOutcome::QueueDropped => holo_trace::counter("sfu.queue_dropped", 1),
                     ForwardOutcome::DownlinkLost => holo_trace::counter("sfu.downlink_lost", 1),
                     ForwardOutcome::DeliveredAt(_) => holo_trace::counter("sfu.delivered", 1),
+                }
+                if record.self_contained {
+                    holo_trace::counter("sfu.degraded", 1);
+                }
+                if let (Some((d0, u0)), Some(d)) = (ladder_before, port.degrade.as_ref()) {
+                    if d.downgrades > d0 {
+                        holo_trace::counter("sfu.ladder_downgrade", 1);
+                    }
+                    if d.upgrades > u0 {
+                        holo_trace::counter("sfu.ladder_upgrade", 1);
+                    }
                 }
                 holo_trace::gauge(
                     &format!("sfu.port{s}.queue_occupancy"),
                     port.queue.occupancy_at(now) as f64,
                 );
             }
-            outcomes.push((s, outcome));
+            records.push(record);
         }
-        outcomes
+        records
     }
 
     /// Mean egress-queue occupancy across ports (admission samples).
@@ -221,12 +335,29 @@ mod tests {
     fn fan_out_skips_the_sender() {
         let links = (0..3).map(|i| constant_link(quiet_cfg(), 100e6, i)).collect();
         let mut sfu =
-            Sfu::new(links, LossPolicy::DropFrame, 8, DropPolicy::TailDrop, None, 0.8).unwrap();
-        let outcomes = sfu.fan_out(&frame(1, 0, 2000), SimTime::ZERO);
-        let subs: Vec<usize> = outcomes.iter().map(|(s, _)| *s).collect();
+            Sfu::new(links, LossPolicy::DropFrame, 8, DropPolicy::TailDrop, None, 0.8, None)
+                .unwrap();
+        let records = sfu.fan_out(&frame(1, 0, 2000), SimTime::ZERO);
+        let subs: Vec<usize> = records.iter().map(|r| r.subscriber).collect();
         assert_eq!(subs, vec![0, 2]);
-        assert!(outcomes.iter().all(|(_, o)| matches!(o, ForwardOutcome::DeliveredAt(_))));
+        assert!(records.iter().all(|r| matches!(r.outcome, ForwardOutcome::DeliveredAt(_))));
+        assert!(records.iter().all(|r| !r.self_contained), "no ladder, top tier");
         assert_eq!(sfu.forwarded, 2);
+    }
+
+    #[test]
+    fn inactive_subscribers_are_skipped() {
+        let links = (0..3).map(|i| constant_link(quiet_cfg(), 100e6, i)).collect();
+        let mut sfu =
+            Sfu::new(links, LossPolicy::DropFrame, 8, DropPolicy::TailDrop, None, 0.8, None)
+                .unwrap();
+        sfu.set_active(2, false);
+        let records = sfu.fan_out(&frame(1, 0, 2000), SimTime::ZERO);
+        let subs: Vec<usize> = records.iter().map(|r| r.subscriber).collect();
+        assert_eq!(subs, vec![0], "participant 2 left the room");
+        assert_eq!(sfu.forwarded, 1);
+        sfu.set_active(2, true);
+        assert_eq!(sfu.fan_out(&frame(1, 1, 2000), SimTime::from_millis(33)).len(), 2);
     }
 
     #[test]
@@ -237,13 +368,14 @@ mod tests {
             constant_link(quiet_cfg(), 200e3, 2),
         ];
         let mut sfu =
-            Sfu::new(links, LossPolicy::DropFrame, 2, DropPolicy::TailDrop, None, 0.8).unwrap();
+            Sfu::new(links, LossPolicy::DropFrame, 2, DropPolicy::TailDrop, None, 0.8, None)
+                .unwrap();
         let mut dropped = 0;
         for i in 0..30 {
             let f = frame(0, i, 50_000);
             let now = SimTime::from_millis(i as u64 * 33);
-            for (_, o) in sfu.fan_out(&f, now) {
-                if o == ForwardOutcome::QueueDropped {
+            for r in sfu.fan_out(&f, now) {
+                if r.outcome == ForwardOutcome::QueueDropped {
                     dropped += 1;
                 }
             }
@@ -269,6 +401,7 @@ mod tests {
             DropPolicy::TailDrop,
             Some(Ladder::standard()),
             0.9,
+            None,
         )
         .unwrap();
         for i in 0..40 {
@@ -278,5 +411,67 @@ mod tests {
         let fast = sfu.ports[1].rung_fraction.mean();
         let slow = sfu.ports[2].rung_fraction.mean();
         assert!(fast > slow * 2.0, "fast {fast:.3} vs slow {slow:.3}");
+    }
+
+    #[test]
+    fn zero_bandwidth_first_window_is_guarded() {
+        // Regression: a dead link predicts ~0 bps on the very first
+        // forward. The ABR fraction must stay finite and positive (the
+        // bottom rung), never NaN from a zero-sample first window.
+        let links = vec![
+            constant_link(quiet_cfg(), 0.0, 0),
+            constant_link(quiet_cfg(), 0.0, 1),
+        ];
+        let mut sfu = Sfu::new(
+            links,
+            LossPolicy::DropFrame,
+            8,
+            DropPolicy::TailDrop,
+            Some(Ladder::standard()),
+            0.9,
+            None,
+        )
+        .unwrap();
+        let records = sfu.fan_out(&frame(0, 0, 2000), SimTime::ZERO);
+        assert_eq!(records.len(), 1);
+        let f = sfu.ports[1].rung_fraction.mean();
+        assert!(f.is_finite() && f > 0.0, "rung fraction {f}");
+        assert!(records[0].fraction.is_finite());
+    }
+
+    #[test]
+    fn starved_port_degrades_to_a_snapshot_tier() {
+        // 100 kbps downlink, a multi-Mbps mesh stream: the ladder must
+        // drop the subscriber to a self-contained tier and keep frames
+        // flowing instead of stalling on queue drops.
+        let links = vec![
+            constant_link(quiet_cfg(), 100e6, 0),
+            constant_link(quiet_cfg(), 100e3, 1),
+        ];
+        let mut sfu = Sfu::new(
+            links,
+            LossPolicy::DropFrame,
+            4,
+            DropPolicy::TailDrop,
+            None,
+            0.8,
+            Some(DegradationLadder::standard()),
+        )
+        .unwrap();
+        let mut delivered_snapshots = 0;
+        for i in 0..30 {
+            let f = frame(0, i, 20_000); // ~4.8 Mbps at 30 FPS
+            let now = SimTime::from_millis(i as u64 * 33);
+            for r in sfu.fan_out(&f, now) {
+                if r.self_contained && matches!(r.outcome, ForwardOutcome::DeliveredAt(_)) {
+                    delivered_snapshots += 1;
+                }
+            }
+        }
+        assert!(sfu.degraded > 0, "ladder never engaged");
+        assert!(delivered_snapshots > 20, "snapshots delivered {delivered_snapshots}");
+        let state = sfu.ports[1].degrade.as_ref().unwrap();
+        assert!(state.downgrades >= 1);
+        assert!(state.level() > 0, "still degraded at the end");
     }
 }

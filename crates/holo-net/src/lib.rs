@@ -22,8 +22,15 @@
 //! - [`mpc`] — a model-predictive controller in the Pensieve/RobustMPC
 //!   family the paper cites: plans rung choices over a horizon against a
 //!   frame-queue model.
+//! - [`fault`] — deterministic fault injection: seeded Gilbert–Elliott
+//!   burst loss, bandwidth drops, link flaps, and delay spikes compiled
+//!   into per-link [`FaultClock`]s consumed inside [`Link::transmit`]
+//!   (the substrate `holo-chaos` builds scenarios on).
+//!
+//! [`Link::transmit`]: link::Link::transmit
 
 pub mod abr;
+pub mod fault;
 pub mod link;
 pub mod mpc;
 pub mod packet;
@@ -33,6 +40,7 @@ pub mod trace;
 pub mod transport;
 
 pub use abr::{AbrController, Ladder, LadderRung};
+pub use fault::{FaultClock, FaultEffect, FaultSegment, LossModel};
 pub use mpc::{MpcController, MpcObjective};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use packet::Packet;

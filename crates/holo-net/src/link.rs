@@ -6,6 +6,7 @@
 //! loss. This is the standard bottleneck abstraction for application-
 //! level streaming studies; everything is virtual-time and seeded.
 
+use crate::fault::FaultClock;
 use crate::time::SimTime;
 use crate::trace::BandwidthTrace;
 use holo_math::Pcg32;
@@ -46,19 +47,47 @@ pub enum Delivery {
     Lost,
 }
 
-/// A snapshot of a link's counters (see [`Link::stats`]). Queue drops
-/// and random losses are counted separately: a [`Delivery::QueueDrop`]
-/// is congestion (backpressure the sender could react to), a
-/// [`Delivery::Lost`] is channel noise, and conflating them hides
-/// which one is killing a session.
+/// A snapshot of a link's counters (see [`Link::stats`]).
+///
+/// The counters follow the packet's path through [`Link::transmit`],
+/// whose ordering is part of the model's contract:
+///
+/// 1. **Queue admission.** A packet that would wait longer than the
+///    configured `max_queue_delay` is rejected *before* touching the
+///    wire: it counts as a `queue_drop`, is **not** admitted, and
+///    consumes no serialization time (the sender can react to this
+///    backpressure).
+/// 2. **Wire occupancy.** An admitted packet counts toward `admitted`
+///    / `bytes_admitted` and occupies the link for its serialization
+///    time — *even if it is subsequently lost*: channel loss destroys
+///    packets that were really sent.
+/// 3. **Channel loss.** After admission, the loss process (the
+///    config's Bernoulli rate and/or an installed [`FaultClock`])
+///    decides the packet's fate. A casualty counts as a `loss_drop`:
+///    admitted, paid for on the wire, never delivered.
+/// 4. **Delivery.** Survivors count toward `delivered` /
+///    `bytes_delivered`.
+///
+/// Invariants: `admitted == delivered + loss_drops` and every offered
+/// packet is exactly one of admitted or queue-dropped. Queue drops and
+/// channel losses stay separate because conflating congestion (which
+/// the sender could avoid) with noise (which it cannot) hides which
+/// one is killing a session; `bytes_admitted - bytes_delivered` is the
+/// wire capacity wasted on doomed packets.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
+    /// Packets admitted to the wire (delivered or lost in flight).
+    pub admitted: u64,
     /// Packets delivered.
     pub delivered: u64,
-    /// Packets dropped at the tail of the queue (congestion).
+    /// Packets dropped at the tail of the queue (congestion; never
+    /// admitted, never on the wire).
     pub queue_drops: u64,
-    /// Packets lost to random channel loss.
+    /// Packets lost to channel loss *after* admission (they occupied
+    /// the wire for their full serialization time).
     pub loss_drops: u64,
+    /// Payload+header bytes admitted to the wire.
+    pub bytes_admitted: u64,
     /// Payload+header bytes delivered.
     pub bytes_delivered: u64,
 }
@@ -67,6 +96,11 @@ impl LinkStats {
     /// Total drops, both causes.
     pub fn dropped(&self) -> u64 {
         self.queue_drops + self.loss_drops
+    }
+
+    /// Packets offered to the link (admitted + rejected at the queue).
+    pub fn offered(&self) -> u64 {
+        self.admitted + self.queue_drops
     }
 }
 
@@ -80,6 +114,7 @@ pub struct Link {
     busy_until: SimTime,
     rng: Pcg32,
     stats: LinkStats,
+    fault: Option<FaultClock>,
 }
 
 impl Link {
@@ -91,7 +126,33 @@ impl Link {
             busy_until: SimTime::ZERO,
             rng: Pcg32::new(seed),
             stats: LinkStats::default(),
+            fault: None,
         }
+    }
+
+    /// Install a [`FaultClock`]: its loss process, bandwidth scales,
+    /// delay spikes, and outages apply on top of the link's own config
+    /// from the next [`transmit`](Self::transmit) on. The clock owns
+    /// its own RNG, so the link's jitter/loss draws are unperturbed —
+    /// a faulted run and its clean twin stay comparable packet for
+    /// packet.
+    pub fn set_fault(&mut self, clock: FaultClock) {
+        self.fault = Some(clock);
+    }
+
+    /// The installed fault clock, if any.
+    pub fn fault(&self) -> Option<&FaultClock> {
+        self.fault.as_ref()
+    }
+
+    /// Capacity actually available at `t` seconds: the trace rate
+    /// scaled by any active fault-window bandwidth drop.
+    pub fn effective_bps_at(&self, t: f64) -> f64 {
+        let scale = self
+            .fault
+            .as_ref()
+            .map_or(1.0, |c| c.bandwidth_scale(SimTime::from_secs_f64(t)));
+        self.trace.bps_at(t) * scale
     }
 
     /// Counter snapshot.
@@ -105,6 +166,13 @@ impl Link {
     }
 
     /// Offer a packet of `wire_bytes` at time `now`.
+    ///
+    /// Stage order (see [`LinkStats`] for the counter contract): queue
+    /// admission first (a rejection is never admitted and consumes no
+    /// wire time), then the admitted packet occupies the wire for its
+    /// serialization time, then channel loss — the link's Bernoulli
+    /// rate and any installed [`FaultClock`] — decides whether the
+    /// packet that was really sent also arrives.
     pub fn transmit(&mut self, wire_bytes: usize, now: SimTime) -> Delivery {
         let start = self.busy_until.max(now);
         let queue_delay = start - now;
@@ -113,10 +181,22 @@ impl Link {
             holo_trace::counter("link.queue_drops", 1);
             return Delivery::QueueDrop;
         }
-        let rate = self.trace.bps_at(start.as_secs_f64()).max(1.0);
+        let scale = self.fault.as_ref().map_or(1.0, |c| c.bandwidth_scale(start));
+        let rate = (self.trace.bps_at(start.as_secs_f64()) * scale).max(1.0);
         let serialization = Duration::from_secs_f64(wire_bytes as f64 * 8.0 / rate);
         self.busy_until = start + serialization;
-        if self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate) {
+        self.stats.admitted += 1;
+        self.stats.bytes_admitted += wire_bytes as u64;
+        let channel_loss =
+            self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate);
+        let injected_loss = match &mut self.fault {
+            // The clock rolls even when the packet is already doomed:
+            // its chain must advance exactly once per admitted packet
+            // for (seed, plan) reproducibility.
+            Some(clock) => clock.loss_roll(start),
+            None => false,
+        };
+        if channel_loss || injected_loss {
             self.stats.loss_drops += 1;
             holo_trace::counter("link.loss_drops", 1);
             return Delivery::Lost;
@@ -126,13 +206,14 @@ impl Link {
         } else {
             Duration::from_secs_f64(self.rng.next_f32() as f64 * self.config.jitter_max.as_secs_f64())
         };
+        let extra = self.fault.as_ref().map_or(Duration::ZERO, |c| c.extra_delay(start));
         self.stats.delivered += 1;
         self.stats.bytes_delivered += wire_bytes as u64;
         if holo_trace::enabled() {
             holo_trace::counter("link.delivered", 1);
             holo_trace::counter("link.bytes_delivered", wire_bytes as u64);
         }
-        Delivery::At(self.busy_until + self.config.propagation + jitter)
+        Delivery::At(self.busy_until + self.config.propagation + jitter + extra)
     }
 
     /// Achieved goodput over an interval, bps.
@@ -192,6 +273,10 @@ mod tests {
         assert_eq!(stats.queue_drops as usize, drops);
         assert_eq!(stats.loss_drops, 0, "no random loss configured");
         assert_eq!(stats.dropped() as usize, drops);
+        // Queue drops are never admitted: no wire bytes were spent.
+        assert_eq!(stats.admitted, stats.delivered);
+        assert_eq!(stats.bytes_admitted, stats.bytes_delivered);
+        assert_eq!(stats.offered(), 100);
     }
 
     #[test]
@@ -210,6 +295,12 @@ mod tests {
         assert_eq!(s.queue_drops, 0);
         assert_eq!(s.delivered + s.dropped(), 500);
         assert_eq!(s.bytes_delivered, s.delivered * 500);
+        // Channel losses happen *after* admission: the lost packets
+        // were on the wire and their bytes were paid for.
+        assert_eq!(s.admitted, s.delivered + s.loss_drops);
+        assert_eq!(s.admitted, 500);
+        assert_eq!(s.bytes_admitted, 500 * 500);
+        assert!(s.bytes_admitted > s.bytes_delivered, "doomed packets still cost wire bytes");
     }
 
     #[test]
@@ -243,6 +334,76 @@ mod tests {
         let fast_ser = fast.as_millis_f64() - 20.0;
         let slow_ser = slow.as_millis_f64() - 1000.0 - 20.0;
         assert!((slow_ser / fast_ser - 10.0).abs() < 0.5, "fast {fast_ser} slow {slow_ser}");
+    }
+
+    #[test]
+    fn fault_clock_outage_and_recovery() {
+        use crate::fault::{FaultClock, FaultEffect, FaultSegment};
+        let mut link = quiet_link(8e6);
+        link.set_fault(FaultClock::new(
+            None,
+            vec![FaultSegment {
+                from: SimTime::from_millis(100),
+                until: SimTime::from_millis(200),
+                effect: FaultEffect::LinkDown,
+            }],
+            5,
+        ));
+        assert!(matches!(link.transmit(100, SimTime::from_millis(50)), Delivery::At(_)));
+        assert_eq!(link.transmit(100, SimTime::from_millis(150)), Delivery::Lost);
+        assert!(matches!(link.transmit(100, SimTime::from_millis(250)), Delivery::At(_)));
+        let s = link.stats();
+        assert_eq!((s.admitted, s.delivered, s.loss_drops), (3, 2, 1));
+        assert_eq!(link.fault().unwrap().injected_drops, 1);
+    }
+
+    #[test]
+    fn fault_clock_scales_bandwidth_and_adds_delay() {
+        use crate::fault::{FaultClock, FaultEffect, FaultSegment};
+        let mut link = quiet_link(8e6); // 1 ms per KB, 20 ms propagation
+        link.set_fault(FaultClock::new(
+            None,
+            vec![
+                FaultSegment {
+                    from: SimTime::from_secs_f64(1.0),
+                    until: SimTime::from_secs_f64(2.0),
+                    effect: FaultEffect::BandwidthScale(0.1),
+                },
+                FaultSegment {
+                    from: SimTime::from_secs_f64(3.0),
+                    until: SimTime::from_secs_f64(4.0),
+                    effect: FaultEffect::ExtraDelay(Duration::from_millis(40)),
+                },
+            ],
+            5,
+        ));
+        let Delivery::At(clean) = link.transmit(1000, SimTime::ZERO) else { panic!() };
+        assert!((clean.as_millis_f64() - 21.0).abs() < 0.1);
+        // Inside the bandwidth drop: serialization is 10x slower.
+        let Delivery::At(slow) = link.transmit(1000, SimTime::from_secs_f64(1.5)) else { panic!() };
+        assert!((slow.as_millis_f64() - 1500.0 - 30.0).abs() < 0.2, "slow {}", slow.as_millis_f64());
+        assert!((link.effective_bps_at(1.5) - 0.8e6).abs() < 1.0);
+        assert_eq!(link.effective_bps_at(2.5), 8e6);
+        // Inside the delay spike: +40 ms one-way.
+        let Delivery::At(spiked) = link.transmit(1000, SimTime::from_secs_f64(3.5)) else { panic!() };
+        assert!((spiked.as_millis_f64() - 3500.0 - 61.0).abs() < 0.2, "spiked {}", spiked.as_millis_f64());
+    }
+
+    #[test]
+    fn installing_an_idle_fault_clock_changes_nothing() {
+        use crate::fault::FaultClock;
+        let mut plain = Link::new(
+            LinkConfig { loss_rate: 0.1, ..Default::default() },
+            BandwidthTrace::Constant { bps: 8e6 },
+            21,
+        );
+        let mut faulted = plain.clone();
+        faulted.set_fault(FaultClock::idle(99));
+        for i in 0..200 {
+            let now = SimTime::from_millis(i * 5);
+            assert_eq!(plain.transmit(700, now), faulted.transmit(700, now));
+        }
+        assert_eq!(plain.stats(), faulted.stats());
     }
 
     #[test]

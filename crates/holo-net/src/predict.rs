@@ -34,6 +34,13 @@ impl EwmaPredictor {
 
 impl BandwidthPredictor for EwmaPredictor {
     fn observe(&mut self, bps: f64) {
+        // A NaN/inf sample would poison the average forever (every
+        // later EWMA term inherits it); a negative one is meaningless.
+        // Drop them instead — the zero-sample case is already the
+        // well-defined "no prediction yet" state.
+        if !bps.is_finite() || bps < 0.0 {
+            return;
+        }
         self.value = Some(match self.value {
             None => bps,
             Some(v) => self.alpha * bps + (1.0 - self.alpha) * v,
@@ -66,7 +73,7 @@ impl HarmonicMeanPredictor {
 
 impl BandwidthPredictor for HarmonicMeanPredictor {
     fn observe(&mut self, bps: f64) {
-        if bps > 0.0 {
+        if bps.is_finite() && bps > 0.0 {
             self.samples.push_back(bps);
             while self.samples.len() > self.window {
                 self.samples.pop_front();
@@ -158,6 +165,26 @@ mod tests {
         }
         let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
         assert!(mean_err < 0.15, "broadband prediction error {mean_err}");
+    }
+
+    #[test]
+    fn non_finite_and_negative_samples_are_ignored() {
+        let mut e = EwmaPredictor::new(0.3);
+        e.observe(f64::NAN);
+        e.observe(f64::INFINITY);
+        e.observe(-5e6);
+        assert_eq!(e.predict(), 0.0, "garbage first window must not poison the EWMA");
+        e.observe(10e6);
+        e.observe(f64::NAN);
+        assert!((e.predict() - 10e6).abs() < 1.0, "NaN after real samples must be a no-op");
+        assert!(e.predict().is_finite());
+
+        let mut h = HarmonicMeanPredictor::new(4);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.predict(), 0.0);
+        h.observe(8e6);
+        assert!((h.predict() - 8e6).abs() < 1.0);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Surviving a lossy link: deterministic fault injection + recovery.
+//!
+//! Injects ~5% Gilbert–Elliott burst loss into a 50 Mbps link and
+//! compares four protection strategies for a 30 fps hologram stream —
+//! nothing, XOR-parity FEC(4,1), RTO-scheduled retransmission, and
+//! both. Then runs the full chaos matrix (streams × plans ×
+//! mechanisms, sessions, rooms with the semantic degradation ladder)
+//! and writes the canonical `RESILIENCE_chaos.json` report, which is
+//! byte-identical for a given seed.
+//!
+//! Run with: `cargo run --release --example chaos_recovery`
+
+use holo_chaos::{run_scenarios, run_stream_scenario, FaultPlan, Mechanisms, StreamConfig};
+
+fn main() {
+    let quick = std::env::var("SEMHOLO_EXAMPLE_QUICK").is_ok();
+    let seed = 42;
+
+    // 1. One faulted stream, four protection strategies.
+    let cfg = StreamConfig {
+        frames: if quick { 60 } else { 150 },
+        ..Default::default()
+    };
+    let plan = FaultPlan::burst5(seed);
+    println!(
+        "stream: {} frames at {:.0} fps, {} B payloads on a {:.0} Mbps link",
+        cfg.frames,
+        cfg.fps,
+        cfg.payload_bytes,
+        cfg.link_bps / 1e6
+    );
+    println!("fault plan: {} (Gilbert-Elliott burst loss, seed {seed})\n", plan.name);
+    println!(
+        "{:<22} {:>9} {:>7} {:>12} {:>9} {:>9} {:>9}",
+        "mechanism", "delivered", "usable", "usable_rate", "fec_fix", "retx_fix", "overhead"
+    );
+    let mut baseline_usable = 0usize;
+    for mech in
+        [Mechanisms::baseline(), Mechanisms::fec(), Mechanisms::retransmit(), Mechanisms::full()]
+    {
+        let o = run_stream_scenario(&plan, &mech, &cfg);
+        if o.mechanism == "baseline" {
+            baseline_usable = o.usable;
+        }
+        println!(
+            "{:<22} {:>5}/{:<3} {:>7} {:>12.3} {:>9} {:>9} {:>8.2}x",
+            o.mechanism,
+            o.delivered,
+            o.frames,
+            o.usable,
+            o.usable_rate,
+            o.recovered_fec,
+            o.recovered_retx,
+            o.overhead
+        );
+    }
+    let full = run_stream_scenario(&plan, &Mechanisms::full(), &cfg);
+    println!(
+        "\nFEC(4,1)+retransmit keeps {}x the usable frames of the unprotected baseline.",
+        if baseline_usable > 0 { full.usable / baseline_usable.max(1) } else { full.usable }
+    );
+
+    // 2. The full matrix: stream plans x mechanisms, session loss
+    // policies, and rooms where the semantic ladder (mesh -> keypoints
+    // -> text) is the resilience mechanism.
+    println!("\nrunning the full chaos matrix (seed {seed})...");
+    let report = run_scenarios(seed);
+    for room in &report.rooms {
+        println!(
+            "room '{}': starved subscriber usable {:.3}, {} degraded frames, {} ladder downgrades, kept flowing: {}",
+            room.plan,
+            room.starved_usable_rate,
+            room.degraded,
+            room.ladder_downgrades,
+            room.kept_flowing
+        );
+    }
+    let path = std::path::Path::new("RESILIENCE_chaos.json");
+    std::fs::write(path, report.render()).expect("write resilience report");
+    println!(
+        "\ncanonical report ({} stream cells, {} sessions, {} rooms) written to {}",
+        report.streams.len(),
+        report.sessions.len(),
+        report.rooms.len(),
+        path.display()
+    );
+    println!("same seed, same bytes: re-running this example reproduces the file exactly.");
+}

@@ -16,7 +16,7 @@ cargo test -q --offline --workspace
 
 echo "==> example smoke runs (SEMHOLO_EXAMPLE_QUICK=1)"
 for example in quickstart remote_collaboration telesurgery \
-    semantic_taxonomy_report conference_capacity; do
+    semantic_taxonomy_report conference_capacity chaos_recovery; do
   echo "--> example: ${example}"
   SEMHOLO_EXAMPLE_QUICK=1 \
     cargo run -q --release --offline --example "${example}" >/dev/null
@@ -37,9 +37,20 @@ for stage in extract encode transmit decode render; do
 done
 rm -f /tmp/semholo_trace_run1.json
 
+echo "==> chaos smoke: seeded scenario matrix, twice, byte-identical"
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example chaos_recovery >/dev/null
+mv RESILIENCE_chaos.json /tmp/semholo_chaos_run1.json
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example chaos_recovery >/dev/null
+# The whole fault matrix is seeded virtual time: same seed, same bytes.
+cmp /tmp/semholo_chaos_run1.json RESILIENCE_chaos.json
+rm -f /tmp/semholo_chaos_run1.json
+
 if command -v cargo-clippy >/dev/null 2>&1; then
-  echo "==> cargo clippy -p holo-trace -- -D warnings"
+  echo "==> cargo clippy -p holo-trace -p holo-chaos -- -D warnings"
   cargo clippy -q --offline -p holo-trace --all-targets -- -D warnings
+  cargo clippy -q --offline -p holo-chaos --no-deps --all-targets -- -D warnings
 else
   echo "==> clippy unavailable; skipping lint step"
 fi
