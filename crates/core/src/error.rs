@@ -1,5 +1,6 @@
 //! Error type for the SemHolo pipelines.
 
+use holo_runtime::ser::DecodeError;
 use std::fmt;
 
 /// Errors surfaced by SemHolo pipelines and sessions.
@@ -7,6 +8,9 @@ use std::fmt;
 pub enum SemHoloError {
     /// A wire payload failed to parse or decompress.
     Codec(String),
+    /// A wire payload failed structural validation (typed taxonomy:
+    /// truncation, bad magic, checksum mismatch, limit, corruption).
+    Decode(DecodeError),
     /// Semantic extraction failed (e.g. too few keypoints).
     Extraction(String),
     /// Reconstruction failed (e.g. edge device out of memory).
@@ -19,6 +23,7 @@ impl fmt::Display for SemHoloError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SemHoloError::Codec(m) => write!(f, "codec error: {m}"),
+            SemHoloError::Decode(e) => write!(f, "decode error: {e}"),
             SemHoloError::Extraction(m) => write!(f, "extraction error: {m}"),
             SemHoloError::Reconstruction(m) => write!(f, "reconstruction error: {m}"),
             SemHoloError::Config(m) => write!(f, "config error: {m}"),
@@ -32,6 +37,22 @@ impl From<holo_gpu::ExecError> for SemHoloError {
     fn from(e: holo_gpu::ExecError) -> Self {
         SemHoloError::Reconstruction(e.to_string())
     }
+}
+
+impl From<DecodeError> for SemHoloError {
+    fn from(e: DecodeError) -> Self {
+        SemHoloError::Decode(e)
+    }
+}
+
+/// Convert a typed decode failure into a pipeline error, bumping the
+/// per-taxonomy rejection counter (`decode.reject.<kind>`) so hostile
+/// or corrupted payloads show up in traces and the chaos matrix.
+pub fn reject_decode(e: DecodeError) -> SemHoloError {
+    if holo_trace::enabled() {
+        holo_trace::counter(&format!("decode.reject.{}", e.kind()), 1);
+    }
+    SemHoloError::Decode(e)
 }
 
 /// Crate-wide result alias.

@@ -14,7 +14,7 @@
 //! but reduces receiver reconstruction work and raises quality near the
 //! gaze point.
 
-use crate::error::{Result, SemHoloError};
+use crate::error::{reject_decode, Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
 use holo_runtime::bytes::Bytes;
@@ -262,9 +262,9 @@ impl SemanticPipeline for FoveatedPipeline {
         if end > payload.len() {
             return Err(SemHoloError::Codec("truncated foveal patch".into()));
         }
-        let patch = decode_mesh(&payload[pos..end]).map_err(SemHoloError::Codec)?;
-        let raw = lzma_decompress(&payload[end..]).map_err(SemHoloError::Codec)?;
-        let pose = PosePayload::from_bytes(&raw).map_err(SemHoloError::Codec)?;
+        let patch = decode_mesh(&payload[pos..end]).map_err(reject_decode)?;
+        let raw = lzma_decompress(&payload[end..]).map_err(reject_decode)?;
+        let pose = PosePayload::from_bytes(&raw).map_err(reject_decode)?;
         // Peripheral reconstruction at low resolution.
         let sdf = BodySdf::from_pose(&self.skeleton, &pose.params, SurfaceDetail::bare());
         let periphery_full = sparse_extract(&sdf, self.config.peripheral_resolution, 0.03);

@@ -8,7 +8,7 @@
 //! render the viewer's novel viewpoint. Rate adaptation couples the view
 //! resolution to a slimmable sub-network width (the §3.2 ladder).
 
-use crate::error::{Result, SemHoloError};
+use crate::error::{reject_decode, Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
 use holo_runtime::bytes::Bytes;
@@ -183,7 +183,7 @@ impl SemanticPipeline for ImagePipeline {
             if end > payload.len() {
                 return Err(SemHoloError::Codec("truncated view".into()));
             }
-            let tex = TextureCodec::decompress(&payload[pos..end]).map_err(SemHoloError::Codec)?;
+            let tex = TextureCodec::decompress(&payload[pos..end]).map_err(reject_decode)?;
             pos = end;
             views.push((cam, tex));
         }

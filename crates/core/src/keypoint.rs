@@ -8,7 +8,7 @@
 //! configured resolution (the X-Avatar substitute) — the reconstruction
 //! whose cost Fig. 4 measures and whose quality Fig. 2 grades.
 
-use crate::error::{Result, SemHoloError};
+use crate::error::{reject_decode, Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{mesh_quality, Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
 use holo_runtime::bytes::Bytes;
@@ -163,8 +163,8 @@ impl SemanticPipeline for KeypointPipeline {
 
     fn decode(&mut self, payload: &[u8]) -> Result<Reconstructed> {
         let t0 = Instant::now();
-        let raw = lzma_decompress(payload).map_err(SemHoloError::Codec)?;
-        let pose = PosePayload::from_bytes(&raw).map_err(SemHoloError::Codec)?;
+        let raw = lzma_decompress(payload).map_err(reject_decode)?;
+        let pose = PosePayload::from_bytes(&raw).map_err(reject_decode)?;
         let sdf = match self.config.mode {
             ReconstructionMode::Parametric => {
                 BodySdf::from_pose(&self.skeleton, &pose.params, SurfaceDetail::bare())

@@ -84,6 +84,7 @@ mod tests {
                 payload_bytes: 1000,
                 delivered: i < delivered,
                 recovered: false,
+                corrupt_dropped: false,
                 extract_ms: 1.0,
                 encode_ms: 0.1,
                 network_ms: 1.0,
@@ -97,6 +98,7 @@ mod tests {
             frames,
             delivered,
             recovered: 0,
+            corrupt_detected: 0,
             payload: Summary::new(),
             e2e_ms: Summary::new(),
             required_bps: 0.0,

@@ -8,8 +8,8 @@
 //! 100 ms interactivity budget, sustained FPS capability, and visual
 //! quality.
 
-use crate::error::{Result, SemHoloError};
-use crate::semantics::{QualityReport, SemanticPipeline};
+use crate::error::{reject_decode, Result, SemHoloError};
+use crate::semantics::{QualityReport, SemanticKind, SemanticPipeline};
 use crate::scene::SceneSource;
 use holo_gpu::Device;
 use holo_math::Summary;
@@ -18,9 +18,21 @@ use holo_net::link::{Link, LinkConfig};
 use holo_net::time::SimTime;
 use holo_net::trace::BandwidthTrace;
 use holo_net::transport::{FrameTransport, LossPolicy, MTU_PAYLOAD};
+use holo_net::wire::{PayloadKind, WireFrame};
+use holo_runtime::bytes::Bytes;
 use holo_trace::TraceReport;
 use std::path::Path;
 use std::time::Duration;
+
+/// Which wire payload tag a semantic pipeline's frames travel under.
+pub fn payload_kind_for(kind: SemanticKind) -> PayloadKind {
+    match kind {
+        SemanticKind::Keypoint => PayloadKind::Keypoints,
+        SemanticKind::Image => PayloadKind::Image,
+        SemanticKind::Text => PayloadKind::Text,
+        SemanticKind::Traditional | SemanticKind::FoveatedHybrid => PayloadKind::Mesh,
+    }
+}
 
 /// Session parameters.
 #[derive(Debug, Clone)]
@@ -82,6 +94,10 @@ pub struct FrameReport {
     /// Whether delivery needed loss recovery (at least one fragment was
     /// retransmitted).
     pub recovered: bool,
+    /// Whether the frame arrived but its envelope checksum exposed
+    /// payload corruption, so it was dropped before decode (counts as
+    /// not delivered).
+    pub corrupt_dropped: bool,
     /// Total sender-side time (modeled extraction, including the
     /// payload-serialization tail reported in `encode_ms`).
     pub extract_ms: f64,
@@ -125,6 +141,9 @@ pub struct SessionReport {
     pub delivered: usize,
     /// Frames that arrived complete only thanks to retransmission.
     pub recovered: usize,
+    /// Frames whose envelope CRC detected payload corruption (dropped
+    /// before decode rather than rendered from garbage bytes).
+    pub corrupt_detected: usize,
     /// Payload size summary (bytes).
     pub payload: Summary,
     /// End-to-end latency summary (ms) over delivered frames.
@@ -187,19 +206,25 @@ impl Session {
         let mut chamfer = Summary::new();
         let mut psnr = Summary::new();
         let tracing = holo_trace::enabled();
+        let wire_kind = payload_kind_for(pipeline.kind());
         for frame in scene.frames(frames) {
             let capture_t = frame.time;
             let encoded = pipeline.encode(&frame)?;
             let extract = encoded.extract.time_on(&self.config.sender_device)?;
             extract_s.record(extract.as_secs_f64());
             let send_at = SimTime::from_secs_f64(capture_t + extract.as_secs_f64());
-            let tx = self.transport.send_frame(encoded.payload.clone(), send_at);
+            // Every frame crosses the link inside the versioned,
+            // checksummed envelope; receivers validate before decode.
+            let envelope =
+                WireFrame::new(wire_kind, frame.index as u64, encoded.payload.clone()).encode();
+            let wire_len = envelope.len();
+            let tx = self.transport.send_frame(Bytes::from(envelope.clone()), send_at);
             // Virtual stage boundaries in microseconds. The encode slice
             // is the payload-serialization tail of extraction, modeled
             // at 1 GB/s (1 byte/ns) and clamped into the extract window.
             let capture_us = SimTime::from_secs_f64(capture_t).0;
             let send_us = send_at.0;
-            let encode_us = (encoded.payload.len() as u64 / 1000).min(send_us - capture_us);
+            let encode_us = (wire_len as u64 / 1000).min(send_us - capture_us);
             if tracing {
                 holo_trace::span_enter_frame("frame", capture_us, frame.index as u64);
                 holo_trace::span_enter("extract", capture_us);
@@ -209,17 +234,38 @@ impl Session {
                 holo_trace::span_enter("transmit", send_us);
                 holo_trace::span_exit(tx.completed_at.map_or(send_us, |t| t.0));
                 holo_trace::counter("session.frames", 1);
-                holo_trace::histogram("session.payload_bytes", encoded.payload.len() as f64);
+                holo_trace::histogram("session.payload_bytes", wire_len as f64);
             }
             // A clean delivery sends exactly one fragment per MTU
             // chunk; anything beyond that was a retransmission.
-            let clean_packets = encoded.payload.len().div_ceil(MTU_PAYLOAD).max(1) as u32;
+            let clean_packets = wire_len.div_ceil(MTU_PAYLOAD).max(1) as u32;
             let recovered = tx.complete && tx.packets_sent > clean_packets;
+            // A delivered frame may still carry corrupted bytes; the
+            // fault clock decides, and the flipped bit position is
+            // drawn deterministically from its per-event seed.
+            let corrupted_bytes = if tx.complete {
+                self.transport
+                    .link
+                    .corrupt_roll(tx.completed_at.expect("complete implies arrival"))
+                    .map(|event_seed| {
+                        let mut bytes = envelope.clone();
+                        let bit = (event_seed % (bytes.len() as u64 * 8)) as usize;
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                        bytes
+                    })
+            } else {
+                None
+            };
+            let corrupt_dropped = match &corrupted_bytes {
+                Some(bytes) => WireFrame::decode(bytes).is_err(),
+                None => false,
+            };
             let mut fr = FrameReport {
                 index: frame.index,
-                payload_bytes: encoded.payload.len(),
-                delivered: tx.complete,
+                payload_bytes: wire_len,
+                delivered: tx.complete && !corrupt_dropped,
                 recovered,
+                corrupt_dropped,
                 extract_ms: extract.as_secs_f64() * 1000.0,
                 encode_ms: encode_us as f64 / 1000.0,
                 network_ms: tx.latency.map_or(f64::NAN, |l| l.as_secs_f64() * 1000.0),
@@ -228,9 +274,26 @@ impl Session {
                 e2e_ms: f64::NAN,
                 quality: None,
             };
-            report.payload.record(encoded.payload.len() as f64);
+            report.payload.record(wire_len as f64);
+            if corrupt_dropped {
+                report.corrupt_detected += 1;
+                if tracing {
+                    holo_trace::span_exit(tx.completed_at.expect("complete implies arrival").0);
+                    holo_trace::counter("session.frames_corrupt_detected", 1);
+                }
+                report.frames.push(fr);
+                continue;
+            }
             if tx.complete {
-                let reconstructed = pipeline.decode(&encoded.payload)?;
+                let received = WireFrame::decode(&envelope).map_err(reject_decode)?;
+                if received.kind != wire_kind {
+                    return Err(SemHoloError::Codec(format!(
+                        "wire kind {} does not match pipeline {}",
+                        received.kind.name(),
+                        wire_kind.name()
+                    )));
+                }
+                let reconstructed = pipeline.decode(&received.payload)?;
                 let recon = reconstructed.recon.time_on(&self.config.receiver_device)?;
                 recon_s.record(recon.as_secs_f64());
                 fr.reconstruct_ms = recon.as_secs_f64() * 1000.0;

@@ -8,7 +8,7 @@
 //! receiver can restore the overall body pose that cell-wise coding
 //! loses (the paper's two-step encoding).
 
-use crate::error::{Result, SemHoloError};
+use crate::error::{reject_decode, Result, SemHoloError};
 use crate::scene::SceneFrame;
 use crate::semantics::{cloud_quality, Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
 use holo_runtime::bytes::Bytes;
@@ -169,18 +169,18 @@ impl SemanticPipeline for TextPipeline {
             if end > payload.len() {
                 return Err(SemHoloError::Codec("truncated global channel".into()));
             }
-            let g = GlobalChannel::from_bytes(&payload[pos..end]).map_err(SemHoloError::Codec)?;
+            let g = GlobalChannel::from_bytes(&payload[pos..end]).map_err(reject_decode)?;
             pos = end;
             Some(g)
         } else {
             None
         };
         let caption = if flags & FLAG_DELTA != 0 {
-            let ops = DeltaCoder::ops_from_bytes(&payload[pos..]).map_err(SemHoloError::Codec)?;
+            let ops = DeltaCoder::ops_from_bytes(&payload[pos..]).map_err(reject_decode)?;
             self.receiver_delta.apply(&ops);
             self.receiver_delta.current()
         } else {
-            let c = Caption::from_bytes(&payload[pos..]).map_err(SemHoloError::Codec)?;
+            let c = Caption::from_bytes(&payload[pos..]).map_err(reject_decode)?;
             // Resync receiver delta state.
             self.receiver_delta = DeltaCoder::new();
             self.receiver_delta.apply(

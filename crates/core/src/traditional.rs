@@ -6,7 +6,7 @@
 //! reconstruction is involved, which is exactly why the bandwidth is two
 //! orders of magnitude higher.
 
-use crate::error::{Result, SemHoloError};
+use crate::error::{reject_decode, Result};
 use crate::scene::SceneFrame;
 use crate::semantics::{mesh_quality, Content, EncodedFrame, QualityReport, Reconstructed, SemanticKind, SemanticPipeline, StageCost};
 use holo_runtime::bytes::Bytes;
@@ -65,37 +65,40 @@ pub fn mesh_to_raw_bytes(mesh: &holo_mesh::TriMesh) -> Vec<u8> {
 }
 
 /// Parse [`mesh_to_raw_bytes`] output.
-pub fn mesh_from_raw_bytes(data: &[u8]) -> std::result::Result<holo_mesh::TriMesh, String> {
-    if data.len() < 16 {
-        return Err("raw mesh too short".into());
-    }
-    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
-    if magic != 0x4D45_5348 {
-        return Err(format!("bad raw mesh magic {magic:#x}"));
-    }
-    let nv = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
-    let nf = u32::from_le_bytes(data[12..16].try_into().unwrap()) as usize;
-    let expected = 16 + nv * 12 + nf * 12;
+///
+/// Hostile-input contract: the declared vertex/face counts are checked
+/// against the exact stream length *before* any allocation, so a forged
+/// 16-byte header can't drive gigabyte-scale `Vec` growth.
+pub fn mesh_from_raw_bytes(
+    data: &[u8],
+) -> std::result::Result<holo_mesh::TriMesh, holo_runtime::ser::DecodeError> {
+    use holo_runtime::ser::{ByteReader, DecodeError};
+    let mut r = ByteReader::new(data);
+    r.expect_magic(0x4D45_5348)?;
+    let _flags = r.u32_le()?;
+    let nv = r.u32_le()? as usize;
+    let nf = r.u32_le()? as usize;
+    let expected = 16usize
+        .saturating_add(nv.saturating_mul(12))
+        .saturating_add(nf.saturating_mul(12));
     if data.len() != expected {
-        return Err(format!("raw mesh size {} != {expected}", data.len()));
+        return Err(if data.len() < expected {
+            DecodeError::Truncated { needed: expected, available: data.len() }
+        } else {
+            DecodeError::corrupt(
+                "raw mesh",
+                format!("raw mesh size {} != {expected}", data.len()),
+            )
+        });
     }
     let mut mesh = holo_mesh::TriMesh::new();
-    let mut pos = 16;
-    let f32_at = |d: &[u8], p: usize| f32::from_le_bytes(d[p..p + 4].try_into().unwrap());
-    let u32_at = |d: &[u8], p: usize| u32::from_le_bytes(d[p..p + 4].try_into().unwrap());
     for _ in 0..nv {
-        mesh.vertices.push(holo_math::Vec3::new(
-            f32_at(data, pos),
-            f32_at(data, pos + 4),
-            f32_at(data, pos + 8),
-        ));
-        pos += 12;
+        mesh.vertices.push(holo_math::Vec3::new(r.f32_le()?, r.f32_le()?, r.f32_le()?));
     }
     for _ in 0..nf {
-        mesh.faces.push([u32_at(data, pos), u32_at(data, pos + 4), u32_at(data, pos + 8)]);
-        pos += 12;
+        mesh.faces.push([r.u32_le()?, r.u32_le()?, r.u32_le()?]);
     }
-    mesh.validate()?;
+    mesh.validate().map_err(|m| DecodeError::corrupt("raw mesh", m))?;
     Ok(mesh)
 }
 
@@ -120,8 +123,8 @@ impl SemanticPipeline for TraditionalPipeline {
     fn decode(&mut self, payload: &[u8]) -> Result<Reconstructed> {
         let t0 = Instant::now();
         let mesh = match self.wire {
-            MeshWire::Raw => mesh_from_raw_bytes(payload).map_err(SemHoloError::Codec)?,
-            MeshWire::Compressed => decode_mesh(payload).map_err(SemHoloError::Codec)?,
+            MeshWire::Raw => mesh_from_raw_bytes(payload).map_err(reject_decode)?,
+            MeshWire::Compressed => decode_mesh(payload).map_err(reject_decode)?,
         };
         Ok(Reconstructed {
             content: Content::Mesh(mesh),

@@ -10,6 +10,7 @@
 
 use crate::skeleton::JOINT_COUNT;
 use holo_math::{Pcg32, Quat, Vec3};
+use holo_runtime::ser::{ByteReader, DecodeError};
 
 /// Number of shape coefficients (SMPL-X uses 10 by default).
 pub const SHAPE_DIM: usize = 10;
@@ -63,9 +64,12 @@ impl SmplxParams {
     }
 
     /// Inverse of [`SmplxParams::to_floats`].
-    pub fn from_floats(data: &[f32]) -> Result<Self, String> {
+    pub fn from_floats(data: &[f32]) -> Result<Self, DecodeError> {
         if data.len() != Self::FLOAT_COUNT {
-            return Err(format!("expected {} floats, got {}", Self::FLOAT_COUNT, data.len()));
+            return Err(DecodeError::corrupt(
+                "smplx params",
+                format!("expected {} floats, got {}", Self::FLOAT_COUNT, data.len()),
+            ));
         }
         let mut p = SmplxParams {
             translation: Vec3::new(data[0], data[1], data[2]),
@@ -179,18 +183,23 @@ impl PosePayload {
     }
 
     /// Parse the wire format.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
         if data.len() != Self::WIRE_SIZE {
-            return Err(format!("payload size {} != {}", data.len(), Self::WIRE_SIZE));
+            return Err(if data.len() < Self::WIRE_SIZE {
+                DecodeError::Truncated { needed: Self::WIRE_SIZE, available: data.len() }
+            } else {
+                DecodeError::corrupt(
+                    "pose payload",
+                    format!("payload size {} != {}", data.len(), Self::WIRE_SIZE),
+                )
+            });
         }
-        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
-        if magic != PAYLOAD_MAGIC {
-            return Err(format!("bad payload magic {magic:#x}"));
+        let mut r = ByteReader::new(data);
+        r.expect_magic(PAYLOAD_MAGIC)?;
+        let mut floats = Vec::with_capacity(SmplxParams::FLOAT_COUNT + PAYLOAD_KEYPOINTS * 3);
+        while !r.is_empty() {
+            floats.push(r.f32_le()?);
         }
-        let floats: Vec<f32> = data[4..]
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
         let params = SmplxParams::from_floats(&floats[..SmplxParams::FLOAT_COUNT])?;
         let keypoints = Vec3::unflatten(&floats[SmplxParams::FLOAT_COUNT..]);
         Ok(Self { params, keypoints })

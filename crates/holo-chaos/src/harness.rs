@@ -27,6 +27,7 @@ use holo_net::link::{Link, LinkConfig};
 use holo_net::time::SimTime;
 use holo_net::trace::BandwidthTrace;
 use holo_net::transport::{FrameTransport, LossPolicy};
+use holo_net::wire::WIRE_HEADER_BYTES;
 use semholo::config::SemHoloConfig;
 use semholo::keypoint::{KeypointConfig, KeypointPipeline};
 use semholo::scene::SceneSource;
@@ -207,15 +208,31 @@ pub fn run_stream_scenario(
         })
         .collect();
     let mut wire_bytes = 0u64;
+    let mut corrupt_detected = 0usize;
     let parity_r = mechanisms.fec.map_or(0, |f| f.r);
     let mut parity_delivered: Vec<Vec<bool>> = vec![vec![false; parity_r]; full_groups];
     let mut parity_at: Vec<Option<SimTime>> = vec![None; full_groups];
     while let Some(std::cmp::Reverse(offer)) = heap.pop() {
-        let result = transport.send_frame_sized(cfg.payload_bytes, offer.at);
+        // Every frame ships inside a `WireFrame` envelope; a frame that
+        // completes delivery can still arrive corrupted, in which case
+        // the CRC detects it and the receiver drops it — same recovery
+        // paths as a loss.
+        let result = transport.send_frame_sized(cfg.payload_bytes + WIRE_HEADER_BYTES, offer.at);
         wire_bytes += result.wire_bytes;
+        let corrupted = result.complete
+            && result
+                .completed_at
+                .is_some_and(|t| transport.link.corrupt_roll(t).is_some());
+        if corrupted {
+            corrupt_detected += 1;
+            if tracing {
+                holo_trace::counter("chaos.corrupt_detected", 1);
+            }
+        }
+        let arrived = result.complete && !corrupted;
         match offer.kind {
             OfferKind::Data { frame, attempt } => {
-                if result.complete {
+                if arrived {
                     slots[frame].available_at = result.completed_at;
                     slots[frame].recovered_retx = attempt > 0;
                 } else if let Some(rc) = &mechanisms.retransmit {
@@ -232,8 +249,8 @@ pub fn run_stream_scenario(
                 }
             }
             OfferKind::Parity { group, index } => {
-                parity_delivered[group][index] = result.complete;
-                if result.complete {
+                parity_delivered[group][index] = arrived;
+                if arrived {
                     parity_at[group] = parity_at[group].max(result.completed_at);
                 }
             }
@@ -320,6 +337,7 @@ pub fn run_stream_scenario(
         delivered,
         recovered_fec,
         recovered_retx,
+        corrupt_detected,
         usable,
         usable_rate: usable as f64 / cfg.frames.max(1) as f64,
         poisoned,
@@ -442,6 +460,7 @@ pub fn run_scenarios(seed: u64) -> ResilienceReport {
         FaultPlan::flapping(seed),
         FaultPlan::bandwidth_collapse(seed),
         FaultPlan::delay_spike(seed),
+        FaultPlan::burst5_corrupt(seed),
     ];
     let mechanism_sets =
         [Mechanisms::baseline(), Mechanisms::fec(), Mechanisms::retransmit(), Mechanisms::full()];
@@ -548,11 +567,36 @@ mod tests {
     }
 
     #[test]
+    fn corruption_is_detected_dropped_and_recovered() {
+        // The PR 5 acceptance criterion: with PayloadCorrupt faults in
+        // the plan, corrupted frames are CRC-detected and dropped, and
+        // the full mechanism set recovers to a usable rate no worse
+        // than the unprotected baseline under the same loss plan.
+        let cfg = StreamConfig::default();
+        let corrupt =
+            run_stream_scenario(&FaultPlan::burst5_corrupt(11), &Mechanisms::full(), &cfg);
+        assert!(corrupt.corrupt_detected > 0, "corruption never injected: {corrupt:?}");
+        let base =
+            run_stream_scenario(&FaultPlan::burst5(11), &Mechanisms::baseline(), &cfg);
+        assert!(
+            corrupt.usable_rate >= base.usable_rate,
+            "protected-under-corruption {} fell below unprotected baseline {}",
+            corrupt.usable_rate,
+            base.usable_rate
+        );
+        // Plans without PayloadCorrupt windows must draw nothing from
+        // the corruption stream — existing scenarios replay unchanged.
+        let clean =
+            run_stream_scenario(&FaultPlan::clean(11), &Mechanisms::baseline(), &cfg);
+        assert_eq!(clean.corrupt_detected, 0);
+    }
+
+    #[test]
     fn the_matrix_is_deterministic() {
         let a = run_scenarios(7);
         let b = run_scenarios(7);
         assert_eq!(a.render(), b.render());
-        assert_eq!(a.streams.len(), 20);
+        assert_eq!(a.streams.len(), 24);
         assert_eq!(a.sessions.len(), 4);
         assert_eq!(a.rooms.len(), 2);
         let c = run_scenarios(8);

@@ -71,6 +71,14 @@ impl FaultPlan {
         Self::clean(seed).named("delay_spike").delay(1.0, 2.0, Duration::from_millis(150))
     }
 
+    /// Burst loss plus on-the-wire payload corruption: the burst5 loss
+    /// process with ~3% of surviving frames corrupted whole-run. The
+    /// scenario the `WireFrame` CRC exists for — every corrupted frame
+    /// must be detected-and-dropped, never decoded.
+    pub fn burst5_corrupt(seed: u64) -> Self {
+        Self::burst5(seed).named("burst5_corrupt").corrupt(0.0, f64::MAX, 0.03)
+    }
+
     /// Room churn: participant `n-1` of an `n`-party room joins late
     /// and leaves early (window `[0.15, 0.35)` of a ~0.5 s run).
     pub fn churny(seed: u64, n: usize) -> Self {
@@ -119,6 +127,22 @@ impl FaultPlan {
             from: SimTime::from_secs_f64(from_s),
             until: SimTime::from_secs_f64(until_s),
             effect: FaultEffect::ExtraDelay(extra),
+        });
+        self
+    }
+
+    /// Add a payload-corruption window (builder): each frame completing
+    /// delivery inside `[from_s, until_s)` is independently corrupted
+    /// with probability `rate`.
+    pub fn corrupt(mut self, from_s: f64, until_s: f64, rate: f64) -> Self {
+        self.segments.push(FaultSegment {
+            from: SimTime::from_secs_f64(from_s),
+            until: if until_s == f64::MAX {
+                SimTime::from_micros(u64::MAX)
+            } else {
+                SimTime::from_secs_f64(until_s)
+            },
+            effect: FaultEffect::PayloadCorrupt(rate as f32),
         });
         self
     }

@@ -26,6 +26,10 @@ pub struct StreamOutcome {
     pub recovered_fec: usize,
     /// Frames delivered only thanks to retransmission.
     pub recovered_retx: usize,
+    /// Frames (data or parity) that arrived corrupted and were
+    /// detected-and-dropped by the envelope CRC — eligible for the
+    /// same recovery paths as losses.
+    pub corrupt_detected: usize,
     /// Frames decodable under the keyframe/delta rules.
     pub usable: usize,
     /// `usable / frames`.
@@ -50,6 +54,7 @@ impl ToJson for StreamOutcome {
             ("delivered", self.delivered.to_json()),
             ("recovered_fec", self.recovered_fec.to_json()),
             ("recovered_retx", self.recovered_retx.to_json()),
+            ("corrupt_detected", self.corrupt_detected.to_json()),
             ("usable", self.usable.to_json()),
             ("usable_rate", self.usable_rate.to_json()),
             ("poisoned", self.poisoned.to_json()),
@@ -174,6 +179,7 @@ mod tests {
                 delivered: 140,
                 recovered_fec: 4,
                 recovered_retx: 30,
+                corrupt_detected: 2,
                 usable: 130,
                 usable_rate: 130.0 / 150.0,
                 poisoned: 5,

@@ -10,11 +10,30 @@
 
 use crate::primitives::{read_varint, write_varint};
 use crate::rc::{decode_bucketed, encode_bucketed, BitModel, BitTree, RangeDecoder, RangeEncoder};
+use holo_runtime::ser::DecodeError;
 
 const MIN_MATCH: usize = 3;
 const MAX_MATCH: usize = 273;
 const HASH_BITS: u32 = 15;
 const MAX_CHAIN: usize = 64;
+
+/// Absolute cap on decompressed output — no header can make the
+/// decoder allocate more than this (64 MiB).
+pub const MAX_DECODE_BYTES: usize = 64 << 20;
+
+/// Cap on the expansion ratio a stream may declare. The adaptive coder
+/// tops out around 310:1 on saturated models (one ~7-bit match symbol
+/// per 273 output bytes), so 4096:1 admits every stream the encoder
+/// can produce while bounding what a hostile header can demand to
+/// `input_len * 4096`.
+pub const MAX_DECODE_RATIO: usize = 4096;
+
+/// The output cap for a given input size: what
+/// [`lzma_decompress`] will refuse to exceed (the declared-cap
+/// contract the fuzz harness enforces).
+pub fn decode_cap(input_len: usize) -> usize {
+    MAX_DECODE_BYTES.min(input_len.saturating_mul(MAX_DECODE_RATIO))
+}
 
 /// Number of literal contexts: 4 byte lanes x 8 previous-byte buckets.
 const LIT_CONTEXTS: usize = 32;
@@ -163,7 +182,13 @@ fn match_len(data: &[u8], from: usize, at: usize) -> usize {
 
 /// Decompress a stream produced by [`lzma_compress`]. Records
 /// `compress.lzma.decode_ms` (wall clock) when tracing is on.
-pub fn lzma_decompress(input: &[u8]) -> Result<Vec<u8>, String> {
+///
+/// Hostile-input contract: never panics, and never allocates beyond
+/// [`decode_cap`] of the input length — a header-declared size past
+/// the cap is a [`DecodeError::LimitExceeded`] *before* any
+/// allocation, and a stream that runs out of coded bytes mid-decode is
+/// a [`DecodeError::Truncated`] instead of an endless zero-fed loop.
+pub fn lzma_decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
     if !holo_trace::enabled() {
         return lzma_decompress_inner(input);
     }
@@ -176,34 +201,54 @@ pub fn lzma_decompress(input: &[u8]) -> Result<Vec<u8>, String> {
     out
 }
 
-fn lzma_decompress_inner(input: &[u8]) -> Result<Vec<u8>, String> {
-    let (total, used) = read_varint(input).ok_or("truncated header")?;
+fn lzma_decompress_inner(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let (total, used) = read_varint(input).ok_or(DecodeError::Truncated {
+        needed: 1,
+        available: input.len(),
+    })?;
     let total = total as usize;
     if total == 0 {
         return Ok(Vec::new());
     }
-    let mut dec = RangeDecoder::new(&input[used..]);
+    let cap = decode_cap(input.len());
+    if total > cap {
+        return Err(DecodeError::LimitExceeded {
+            what: "lzma output",
+            requested: total as u64,
+            limit: cap as u64,
+        });
+    }
+    let coded = &input[used..];
+    let mut dec = RangeDecoder::new(coded);
     let mut models = Models::new();
-    let mut out: Vec<u8> = Vec::with_capacity(total);
+    // Capacity is a bounded hint; growth past it is paid for by real
+    // coded bytes (the exhaustion check below stops zero-fed decoding).
+    let mut out: Vec<u8> = Vec::with_capacity(total.min(64 << 10));
     let mut last_dist = 0usize;
     let mut after_match = 0usize;
     while out.len() < total {
+        if dec.exhausted() {
+            return Err(DecodeError::Truncated { needed: total, available: out.len() });
+        }
         if dec.decode_bit(&mut models.is_match[after_match]) == 1 {
             let is_rep = dec.decode_bit(&mut models.is_rep) == 1;
             let len = decode_bucketed(&mut dec, &mut models.len_slot) as usize + MIN_MATCH;
             let dist = if is_rep {
                 if last_dist == 0 {
-                    return Err("rep distance before any match".into());
+                    return Err(DecodeError::corrupt("lzma", "rep distance before any match"));
                 }
                 last_dist
             } else {
                 decode_bucketed(&mut dec, &mut models.dist_slot) as usize + 1
             };
             if dist > out.len() {
-                return Err(format!("distance {dist} exceeds output {}", out.len()));
+                return Err(DecodeError::corrupt(
+                    "lzma",
+                    format!("distance {dist} exceeds output {}", out.len()),
+                ));
             }
-            if out.len() + len > total {
-                return Err("match overruns declared length".into());
+            if len > total - out.len() {
+                return Err(DecodeError::corrupt("lzma", "match overruns declared length"));
             }
             let start = out.len() - dist;
             for k in 0..len {

@@ -22,6 +22,7 @@ use crate::primitives::{unzigzag, zigzag};
 use crate::rc::{decode_bucketed, encode_bucketed, BitModel, BitTree, RangeDecoder, RangeEncoder};
 use holo_math::Vec3;
 use holo_mesh::trimesh::TriMesh;
+use holo_runtime::ser::{ByteReader, DecodeError};
 use std::collections::HashMap;
 
 /// Codec parameters.
@@ -227,7 +228,13 @@ fn encode_mesh_inner(mesh: &TriMesh, cfg: &MeshCodecConfig) -> (Vec<u8>, Vec<u32
 
 /// Decode a mesh produced by [`encode_mesh`]. Vertices come back in
 /// discovery order; faces keep their original winding.
-pub fn decode_mesh(data: &[u8]) -> Result<TriMesh, String> {
+///
+/// Hostile-input contract: never panics (all header parsing is
+/// bounds-checked, residual arithmetic wraps instead of overflowing),
+/// and never allocates beyond what the coded bytes actually pay for —
+/// a truncated or zero-padded stream is caught by the range decoder's
+/// exhaustion check instead of spinning to a 100M-face declared count.
+pub fn decode_mesh(data: &[u8]) -> Result<TriMesh, DecodeError> {
     if !holo_trace::enabled() {
         return decode_mesh_inner(data);
     }
@@ -237,36 +244,39 @@ pub fn decode_mesh(data: &[u8]) -> Result<TriMesh, String> {
     out
 }
 
-fn decode_mesh_inner(data: &[u8]) -> Result<TriMesh, String> {
-    if data.len() < 25 {
-        return Err("mesh stream too short".into());
-    }
-    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(format!("bad mesh magic {magic:#x}"));
-    }
-    let _bits = data[4];
-    let face_count = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
-    let mut fl = [0f32; 4];
-    for (i, v) in fl.iter_mut().enumerate() {
-        let o = 9 + i * 4;
-        *v = f32::from_le_bytes(data[o..o + 4].try_into().unwrap());
-    }
+/// Most faces one coded byte can legitimately produce: a saturated
+/// skip/is_new model pair costs ~0.011 bits per face, so ~715
+/// faces/byte is the physical ceiling; 1024 adds margin without
+/// admitting absurd declared counts.
+const MAX_FACES_PER_BYTE: usize = 1024;
+
+fn decode_mesh_inner(data: &[u8]) -> Result<TriMesh, DecodeError> {
+    let mut r = ByteReader::new(data);
+    r.expect_magic(MAGIC)?;
+    let _bits = r.u8()?;
+    let face_count = r.u32_le()? as usize;
+    let fl = [r.f32_le()?, r.f32_le()?, r.f32_le()?, r.f32_le()?];
     let (origin, step) = (Vec3::new(fl[0], fl[1], fl[2]), fl[3]);
     if !step.is_finite() || step <= 0.0 {
-        return Err("invalid quantization step".into());
+        return Err(DecodeError::corrupt("mesh header", "invalid quantization step"));
     }
 
     let mut mesh = TriMesh::new();
     if face_count == 0 {
         return Ok(mesh);
     }
-    // Guard against absurd declared counts on corrupted input.
-    if face_count > 100_000_000 {
-        return Err(format!("implausible face count {face_count}"));
+    // Guard against absurd declared counts on corrupted input: more
+    // faces than the coded bytes could possibly encode.
+    let face_cap = data.len().saturating_mul(MAX_FACES_PER_BYTE).min(100_000_000);
+    if face_count > face_cap {
+        return Err(DecodeError::LimitExceeded {
+            what: "mesh faces",
+            requested: face_count as u64,
+            limit: face_cap as u64,
+        });
     }
 
-    let mut dec = RangeDecoder::new(&data[25..]);
+    let mut dec = RangeDecoder::new(r.rest());
     let mut models = Models::new();
     let mut qverts: Vec<QPos> = Vec::new();
     let mut last_abs: QPos = [0, 0, 0];
@@ -281,6 +291,12 @@ fn decode_mesh_inner(data: &[u8]) -> Result<TriMesh, String> {
     };
 
     while mesh.faces.len() < face_count {
+        if dec.exhausted() {
+            // A valid stream always carries enough coded bytes for its
+            // declared face count; running dry means truncation (or a
+            // zero-fed tail after corruption).
+            return Err(DecodeError::Truncated { needed: face_count, available: mesh.faces.len() });
+        }
         if stack.is_empty() {
             // Seed triangle.
             let mut ids = [0u32; 3];
@@ -288,13 +304,20 @@ fn decode_mesh_inner(data: &[u8]) -> Result<TriMesh, String> {
                 if dec.decode_bit(&mut models.seed_known) == 1 {
                     let back = decode_bucketed(&mut dec, &mut models.backref);
                     let n = qverts.len() as u32;
-                    if back + 1 > n {
-                        return Err("seed backref out of range".into());
+                    if back >= n {
+                        return Err(DecodeError::corrupt("mesh", "seed backref out of range"));
                     }
                     *slot = n - 1 - back;
                 } else {
                     let r = decode_residual(&mut dec, &mut models.seed);
-                    let q = [last_abs[0] + r[0], last_abs[1] + r[1], last_abs[2] + r[2]];
+                    // Wrapping: hostile residuals may not fit i32 sums;
+                    // the reconstructed positions are garbage either
+                    // way, but the decoder must not panic in debug.
+                    let q = [
+                        last_abs[0].wrapping_add(r[0]),
+                        last_abs[1].wrapping_add(r[1]),
+                        last_abs[2].wrapping_add(r[2]),
+                    ];
                     last_abs = q;
                     *slot = qverts.len() as u32;
                     qverts.push(q);
@@ -307,23 +330,26 @@ fn decode_mesh_inner(data: &[u8]) -> Result<TriMesh, String> {
             stack.push((s0, s2, s1));
             continue;
         }
-        let (u, v, opp) = stack.pop().unwrap();
+        let Some((u, v, opp)) = stack.pop() else { unreachable!("stack checked non-empty") };
         if dec.decode_bit(&mut models.skip) == 1 {
             continue;
         }
         let c = if dec.decode_bit(&mut models.is_new) == 1 {
             let (qu, qv, qo) = (qverts[u as usize], qverts[v as usize], qverts[opp as usize]);
-            let pred = [qu[0] + qv[0] - qo[0], qu[1] + qv[1] - qo[1], qu[2] + qv[2] - qo[2]];
             let r = decode_residual(&mut dec, &mut models.attach);
-            let q = [pred[0] + r[0], pred[1] + r[1], pred[2] + r[2]];
+            let q = [
+                qu[0].wrapping_add(qv[0]).wrapping_sub(qo[0]).wrapping_add(r[0]),
+                qu[1].wrapping_add(qv[1]).wrapping_sub(qo[1]).wrapping_add(r[1]),
+                qu[2].wrapping_add(qv[2]).wrapping_sub(qo[2]).wrapping_add(r[2]),
+            ];
             let id = qverts.len() as u32;
             qverts.push(q);
             id
         } else {
             let back = decode_bucketed(&mut dec, &mut models.backref);
             let n = qverts.len() as u32;
-            if back + 1 > n {
-                return Err("backref out of range".into());
+            if back >= n {
+                return Err(DecodeError::corrupt("mesh", "backref out of range"));
             }
             n - 1 - back
         };

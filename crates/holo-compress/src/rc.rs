@@ -182,6 +182,16 @@ impl<'a> RangeDecoder<'a> {
         b
     }
 
+    /// Whether the decoder has read past the end of its input. Past-end
+    /// reads return zero bytes (the encoder's flush guarantees a valid
+    /// stream never needs them), so on *truncated or hostile* input the
+    /// decoder keeps producing arbitrary symbols forever — decode loops
+    /// must check this flag and bail instead of trusting their
+    /// header-declared counts.
+    pub fn exhausted(&self) -> bool {
+        self.pos > self.input.len()
+    }
+
     /// Decode one bit with an adaptive model.
     pub fn decode_bit(&mut self, model: &mut BitModel) -> u8 {
         let bound = (self.range >> PROB_BITS) * model.0 as u32;

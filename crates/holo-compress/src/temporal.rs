@@ -20,6 +20,7 @@ use crate::primitives::{unzigzag, zigzag};
 use crate::rc::{decode_bucketed, encode_bucketed, BitTree, RangeDecoder, RangeEncoder};
 use holo_math::Vec3;
 use holo_mesh::trimesh::TriMesh;
+use holo_runtime::ser::{ByteReader, DecodeError};
 
 const DELTA_MAGIC: u32 = 0x4D44_4C54; // "MDLT"
 const KEY_MAGIC: u32 = 0x4D4B_4559; // "MKEY"
@@ -120,50 +121,59 @@ impl TemporalMeshDecoder {
     }
 
     /// Decode one frame.
-    pub fn decode(&mut self, data: &[u8]) -> Result<TriMesh, String> {
-        if data.len() < 4 {
-            return Err("temporal frame too short".into());
-        }
-        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    ///
+    /// Hostile-input contract: typed errors on truncation, bad magic,
+    /// and count/step mismatches; a delta frame whose coded bytes run
+    /// dry mid-stream is rejected (and the reference rolled back)
+    /// instead of silently applying zero-fed garbage deltas.
+    pub fn decode(&mut self, data: &[u8]) -> Result<TriMesh, DecodeError> {
+        let mut r = ByteReader::new(data);
+        let magic = r.u32_le()?;
         match magic {
             KEY_MAGIC => {
-                let mesh = decode_mesh(&data[4..])?;
+                let mesh = decode_mesh(r.rest())?;
                 self.reference = Some(mesh.clone());
                 Ok(mesh)
             }
             DELTA_MAGIC => {
-                let reference = self
-                    .reference
-                    .as_mut()
-                    .ok_or("delta frame before any keyframe")?;
-                if data.len() < 12 {
-                    return Err("delta header truncated".into());
-                }
-                let nv = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
-                let step = f32::from_le_bytes(data[8..12].try_into().unwrap());
+                let reference = self.reference.as_mut().ok_or_else(|| {
+                    DecodeError::corrupt("temporal", "delta frame before any keyframe")
+                })?;
+                let nv = r.u32_le()? as usize;
+                let step = r.f32_le()?;
                 if nv != reference.vertex_count() {
-                    return Err(format!(
-                        "delta vertex count {nv} != reference {}",
-                        reference.vertex_count()
+                    return Err(DecodeError::corrupt(
+                        "temporal",
+                        format!("delta vertex count {nv} != reference {}", reference.vertex_count()),
                     ));
                 }
                 if !step.is_finite() || step <= 0.0 {
-                    return Err("invalid delta step".into());
+                    return Err(DecodeError::corrupt("temporal", "invalid delta step"));
                 }
-                let mut dec = RangeDecoder::new(&data[12..]);
+                let mut dec = RangeDecoder::new(r.rest());
                 let mut trees = [BitTree::new(6), BitTree::new(6), BitTree::new(6)];
-                for r in &mut reference.vertices {
+                // Closed loop: apply to a scratch copy so a mid-stream
+                // truncation doesn't poison the reference.
+                let mut verts = reference.vertices.clone();
+                for (i, v) in verts.iter_mut().enumerate() {
+                    if dec.exhausted() {
+                        return Err(DecodeError::Truncated { needed: nv, available: i });
+                    }
                     let mut q = [0i32; 3];
                     for (k, tree) in trees.iter_mut().enumerate() {
                         q[k] = unzigzag(decode_bucketed(&mut dec, tree));
                     }
-                    *r += Vec3::new(q[0] as f32, q[1] as f32, q[2] as f32) * step;
+                    *v += Vec3::new(q[0] as f32, q[1] as f32, q[2] as f32) * step;
                 }
+                reference.vertices = verts;
                 let mut out = reference.clone();
                 out.compute_normals();
                 Ok(out)
             }
-            other => Err(format!("unknown temporal frame magic {other:#x}")),
+            other => Err(DecodeError::corrupt(
+                "temporal",
+                format!("unknown temporal frame magic {other:#x}"),
+            )),
         }
     }
 }

@@ -9,6 +9,7 @@
 //! the ASTC/DXT codecs MR headsets use in hardware.
 
 use holo_math::Vec3;
+use holo_runtime::ser::{ByteReader, DecodeError};
 
 /// A simple RGB8 image.
 #[derive(Debug, Clone)]
@@ -176,27 +177,39 @@ impl TextureCodec {
     }
 
     /// Decompress.
-    pub fn decompress(data: &[u8]) -> Result<Texture, String> {
-        if data.len() < 8 {
-            return Err("texture stream too short".into());
-        }
-        let width = u32::from_le_bytes(data[0..4].try_into().unwrap());
-        let height = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    ///
+    /// Hostile-input contract: the declared dimensions are capped and
+    /// the exact stream length is validated *before* the output texture
+    /// is allocated, so a short header can never trigger a large
+    /// allocation or an out-of-bounds block read.
+    pub fn decompress(data: &[u8]) -> Result<Texture, DecodeError> {
+        let mut r = ByteReader::new(data);
+        let width = r.u32_le()?;
+        let height = r.u32_le()?;
         if width > 16384 || height > 16384 {
-            return Err("implausible texture dimensions".into());
+            return Err(DecodeError::LimitExceeded {
+                what: "texture dimension",
+                requested: width.max(height) as u64,
+                limit: 16384,
+            });
         }
         let expected = Self::compressed_size(width, height);
         if data.len() != expected {
-            return Err(format!("texture stream {} bytes, expected {expected}", data.len()));
+            return Err(if data.len() < expected {
+                DecodeError::Truncated { needed: expected, available: data.len() }
+            } else {
+                DecodeError::corrupt(
+                    "texture",
+                    format!("stream {} bytes, expected {expected}", data.len()),
+                )
+            });
         }
         let mut tex = Texture::new(width, height);
-        let mut pos = 8usize;
         for by in 0..height.div_ceil(4) {
             for bx in 0..width.div_ceil(4) {
-                let c0 = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap());
-                let c1 = u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap());
-                let indices = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
-                pos += 8;
+                let c0 = r.u16_le()?;
+                let c1 = r.u16_le()?;
+                let indices = r.u32_le()?;
                 let pal = palette(from565(c0), from565(c1));
                 for i in 0..16 {
                     let k = ((indices >> (i * 2)) & 3) as usize;

@@ -113,6 +113,9 @@ pub struct RoomReport {
     pub queue_dropped: u64,
     /// Fan-outs lost on downlinks.
     pub downlink_lost: u64,
+    /// Frames whose envelope arrived corrupted (uplink or downlink)
+    /// and was detected-and-dropped by the CRC check.
+    pub corrupt_detected: u64,
 }
 
 impl RoomReport {
@@ -155,6 +158,7 @@ impl RoomReport {
             ("forwarded", self.forwarded.to_json()),
             ("queue_dropped", self.queue_dropped.to_json()),
             ("downlink_lost", self.downlink_lost.to_json()),
+            ("corrupt_detected", self.corrupt_detected.to_json()),
             ("subscribers", self.subscribers.to_json()),
         ])
     }
@@ -229,6 +233,7 @@ mod tests {
             forwarded: 6,
             queue_dropped: 0,
             downlink_lost: 0,
+            corrupt_detected: 0,
         };
         let s = report.render();
         for key in ["participants", "jain_fairness", "queue_occupancy_mean", "forwarded"] {

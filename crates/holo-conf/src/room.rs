@@ -22,6 +22,7 @@ use holo_trace::TraceReport;
 use holo_net::link::Link;
 use holo_net::time::SimTime;
 use holo_net::transport::{FrameTransport, LossPolicy};
+use holo_net::wire::WIRE_HEADER_BYTES;
 use semholo::error::{Result, SemHoloError};
 use semholo::scene::SceneSource;
 use semholo::semantics::{SemanticPipeline, StageCost};
@@ -211,6 +212,7 @@ impl Room {
             vec![vec![vec![None; cfg.frames]; n]; n];
         let mut shared_cache: Vec<Option<FrameMeta>> = vec![None; cfg.frames];
         let mut uplink_lost = 0u64;
+        let mut uplink_corrupt = 0u64;
 
         let tracing = holo_trace::enabled();
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
@@ -245,7 +247,10 @@ impl Room {
                     };
                     let extract_t = m.extract.time_on(device)?;
                     let send_at = event.at + extract_t;
-                    let result = uplinks[sender].send_frame_sized(m.payload_bytes, send_at);
+                    // Uplink frames travel inside the checksummed wire
+                    // envelope; the SFU validates before forwarding.
+                    let result = uplinks[sender]
+                        .send_frame_sized(m.payload_bytes + WIRE_HEADER_BYTES, send_at);
                     meta[sender][index] = Some(m);
                     if tracing {
                         holo_trace::set_lane(sender as u32);
@@ -261,7 +266,17 @@ impl Room {
                     }
                     match result.completed_at {
                         Some(t) if result.complete => {
-                            push(&mut heap, &mut seq, t, EventKind::Ingress(sender, index));
+                            // The SFU validates the envelope CRC before
+                            // forwarding; a corrupted uplink frame is
+                            // detected and dropped at ingress.
+                            if uplinks[sender].link.corrupt_roll(t).is_some() {
+                                uplink_corrupt += 1;
+                                if tracing {
+                                    holo_trace::counter("room.uplink_corrupt", 1);
+                                }
+                            } else {
+                                push(&mut heap, &mut seq, t, EventKind::Ingress(sender, index));
+                            }
                         }
                         _ => {
                             uplink_lost += 1;
@@ -407,6 +422,7 @@ impl Room {
             forwarded: sfu.forwarded,
             queue_dropped: sfu.queue_dropped,
             downlink_lost: sfu.downlink_lost,
+            corrupt_detected: uplink_corrupt + sfu.corrupt_detected,
             subscribers,
         })
     }

@@ -19,6 +19,7 @@ use holo_net::predict::{BandwidthPredictor, EwmaPredictor};
 use holo_net::time::SimTime;
 use holo_net::trace::BandwidthTrace;
 use holo_net::transport::{FrameTransport, LossPolicy};
+use holo_net::wire::WIRE_HEADER_BYTES;
 use holo_math::Summary;
 
 /// Outcome of forwarding one frame to one subscriber.
@@ -28,6 +29,9 @@ pub enum ForwardOutcome {
     QueueDropped,
     /// Admitted but lost on the subscriber's downlink.
     DownlinkLost,
+    /// Arrived, but the wire envelope's CRC exposed payload corruption;
+    /// the subscriber dropped it before decode.
+    CorruptDropped,
     /// Delivered completely at the given time.
     DeliveredAt(SimTime),
 }
@@ -138,7 +142,10 @@ impl SubscriberPort {
             }
         };
         self.rung_fraction.record(fraction);
-        let wire_bytes = ((frame.payload_bytes as f64 * fraction).round() as usize).max(32);
+        // Every forwarded copy re-wraps the payload in the versioned,
+        // checksummed wire envelope for its hop to the subscriber.
+        let wire_bytes = ((frame.payload_bytes as f64 * fraction).round() as usize).max(32)
+            + WIRE_HEADER_BYTES;
 
         // Backpressure at the egress queue (snapshots count as keys:
         // they reset the subscriber's view exactly like one).
@@ -151,7 +158,16 @@ impl SubscriberPort {
             let backlog_done = now + self.transport.link.queue_delay(now);
             self.queue.commit(backlog_done);
             match result.completed_at {
-                Some(t) if result.complete => ForwardOutcome::DeliveredAt(t),
+                Some(t) if result.complete => {
+                    // A delivered copy can still arrive corrupted; the
+                    // subscriber's CRC check catches it and drops the
+                    // frame instead of decoding garbage.
+                    if self.transport.link.corrupt_roll(t).is_some() {
+                        ForwardOutcome::CorruptDropped
+                    } else {
+                        ForwardOutcome::DeliveredAt(t)
+                    }
+                }
                 _ => ForwardOutcome::DownlinkLost,
             }
         };
@@ -178,6 +194,9 @@ pub struct Sfu {
     pub queue_dropped: u64,
     /// Fan-outs lost on downlinks.
     pub downlink_lost: u64,
+    /// Fan-outs whose envelope CRC exposed corruption at the
+    /// subscriber (detected and dropped, never decoded).
+    pub corrupt_detected: u64,
     /// Fan-outs shipped below the top semantic tier.
     pub degraded: u64,
 }
@@ -218,6 +237,7 @@ impl Sfu {
             forwarded: 0,
             queue_dropped: 0,
             downlink_lost: 0,
+            corrupt_detected: 0,
             degraded: 0,
         })
     }
@@ -248,6 +268,7 @@ impl Sfu {
             match record.outcome {
                 ForwardOutcome::QueueDropped => self.queue_dropped += 1,
                 ForwardOutcome::DownlinkLost => self.downlink_lost += 1,
+                ForwardOutcome::CorruptDropped => self.corrupt_detected += 1,
                 ForwardOutcome::DeliveredAt(_) => {}
             }
             if record.self_contained {
@@ -258,6 +279,9 @@ impl Sfu {
                 match record.outcome {
                     ForwardOutcome::QueueDropped => holo_trace::counter("sfu.queue_dropped", 1),
                     ForwardOutcome::DownlinkLost => holo_trace::counter("sfu.downlink_lost", 1),
+                    ForwardOutcome::CorruptDropped => {
+                        holo_trace::counter("sfu.corrupt_detected", 1)
+                    }
                     ForwardOutcome::DeliveredAt(_) => holo_trace::counter("sfu.delivered", 1),
                 }
                 if record.self_contained {

@@ -1,0 +1,106 @@
+//! Opt-in allocation tracking for the fuzz sweep.
+//!
+//! The hostile-input contract bounds not just what a decoder *returns*
+//! but what it *allocates on the way*: a forged length field must be
+//! rejected before it sizes a `Vec`, not after. To observe that, the
+//! fuzz binary (and only the fuzz binary) installs [`TrackingAllocator`]
+//! as its global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: holo_fuzz::TrackingAllocator = holo_fuzz::TrackingAllocator;
+//! ```
+//!
+//! The allocator forwards to the system allocator and keeps two relaxed
+//! atomic counters: live bytes and a high-water mark. The harness
+//! resets the mark around each decode call and compares the delta
+//! against the target's declared cap. When the allocator is *not*
+//! installed (library consumers, ordinary test binaries), the counters
+//! never move, [`installed`] stays false, and the harness skips the cap
+//! check — the sweep still verifies "never panics" and "round-trips".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// A counting wrapper around the system allocator (see module docs).
+pub struct TrackingAllocator;
+
+fn on_alloc(size: usize) {
+    INSTALLED.store(true, Relaxed);
+    let live = LIVE.fetch_add(size, Relaxed) + size;
+    PEAK.fetch_max(live, Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size, Relaxed);
+}
+
+// SAFETY: pure pass-through to `System`; the counters carry no safety
+// obligations.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(layout.size());
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_dealloc(layout.size());
+        on_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// True once the tracking allocator has served at least one allocation
+/// — i.e. it is this binary's global allocator.
+pub fn installed() -> bool {
+    INSTALLED.load(Relaxed)
+}
+
+/// Bytes currently allocated (0 when not installed).
+pub fn live_bytes() -> usize {
+    LIVE.load(Relaxed)
+}
+
+/// Reset the high-water mark to the current live count; returns the
+/// baseline the next [`peak_since`] call should subtract.
+pub fn reset_watermark() -> usize {
+    let live = LIVE.load(Relaxed);
+    PEAK.store(live, Relaxed);
+    live
+}
+
+/// Peak bytes allocated above `baseline` since the matching
+/// [`reset_watermark`].
+pub fn peak_since(baseline: usize) -> usize {
+    PEAK.load(Relaxed).saturating_sub(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_inert_without_installation() {
+        // This test binary does not install the allocator, so nothing
+        // moves — which is exactly the library-consumer contract.
+        let base = reset_watermark();
+        let v = vec![0u8; 1 << 16];
+        assert_eq!(peak_since(base), 0);
+        assert!(!installed());
+        drop(v);
+    }
+}

@@ -1,0 +1,307 @@
+//! The sweep: mutate → decode → tally, and the canonical report.
+//!
+//! [`run_sweep`] drives every registry target through
+//! `mutations_per_target` seeded mutants inside `catch_unwind` (with
+//! the panic hook silenced for the duration, so a sweep over millions
+//! of rejects does not spray backtraces). Per decode call it measures
+//! the peak-allocation delta when the fuzz binary installed
+//! [`crate::TrackingAllocator`].
+//!
+//! The resulting [`FuzzReport`] contains only seed-determined numbers —
+//! no wall clock, no addresses, fixed taxonomy order — and renders
+//! through `holo_runtime::ser`'s canonical JSON, so two same-seed runs
+//! produce byte-identical `FUZZ_report.json`. That byte-compare is part
+//! of `scripts/verify.sh`.
+
+use crate::alloc;
+use crate::mutate::{Mutator, MUTATION_NAMES};
+use crate::targets::{registry, Target};
+use holo_runtime::ser::{JsonValue, ToJson};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Fixed taxonomy order for per-kind reject counts (matches
+/// `DecodeError::kind`).
+const KINDS: [&str; 5] = ["truncated", "bad_magic", "bad_checksum", "limit_exceeded", "corrupt"];
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; corpora, mutants, and the report all derive from it.
+    pub seed: u64,
+    /// Mutants per decode target (the acceptance floor is 10 000).
+    pub mutations_per_target: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self { seed: 7, mutations_per_target: 10_000 }
+    }
+}
+
+/// One target's sweep outcome.
+#[derive(Debug, Clone)]
+pub struct TargetReport {
+    /// Target name from the registry.
+    pub name: String,
+    /// Corpus size.
+    pub corpus: usize,
+    /// Corpus items that round-tripped (must equal `corpus`).
+    pub corpus_ok: usize,
+    /// Mutants decoded.
+    pub mutations: usize,
+    /// Mutants the decoder accepted (decoded to `Ok`).
+    pub accepted: usize,
+    /// Mutants rejected with a typed error.
+    pub rejected: usize,
+    /// Rejections per taxonomy kind, in [`struct@KINDS`] order.
+    pub rejected_by_kind: [usize; 5],
+    /// Panics caught (the contract demands zero).
+    pub panics: usize,
+    /// Largest peak-allocation delta observed across calls, bytes
+    /// (0 when the tracking allocator is not installed).
+    pub max_alloc: usize,
+    /// The target's declared cap, bytes.
+    pub alloc_cap: usize,
+    /// Calls whose peak allocation exceeded the cap (must be zero).
+    pub cap_exceeded: usize,
+    /// Per-mutator-family mutant counts, in
+    /// [`MUTATION_NAMES`] order.
+    pub by_family: [usize; 5],
+}
+
+impl TargetReport {
+    /// True when this target upheld the whole hostile-input contract.
+    pub fn clean(&self) -> bool {
+        self.panics == 0 && self.cap_exceeded == 0 && self.corpus_ok == self.corpus
+    }
+}
+
+impl ToJson for TargetReport {
+    fn to_json(&self) -> JsonValue {
+        let kinds = JsonValue::obj(
+            KINDS.iter().zip(self.rejected_by_kind).map(|(k, n)| (*k, n.to_json())),
+        );
+        let families = JsonValue::obj(
+            MUTATION_NAMES.iter().zip(self.by_family).map(|(k, n)| (*k, n.to_json())),
+        );
+        JsonValue::obj([
+            ("name", self.name.to_json()),
+            ("corpus", self.corpus.to_json()),
+            ("corpus_ok", self.corpus_ok.to_json()),
+            ("mutations", self.mutations.to_json()),
+            ("accepted", self.accepted.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("rejected_by_kind", kinds),
+            ("panics", self.panics.to_json()),
+            ("max_alloc", self.max_alloc.to_json()),
+            ("alloc_cap", self.alloc_cap.to_json()),
+            ("cap_exceeded", self.cap_exceeded.to_json()),
+            ("by_family", families),
+        ])
+    }
+}
+
+/// The whole sweep's outcome.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Mutants per target.
+    pub mutations_per_target: usize,
+    /// Whether allocation caps were actually enforced (the tracking
+    /// allocator was installed in this binary).
+    pub alloc_tracking: bool,
+    /// Per-target outcomes, registry order.
+    pub targets: Vec<TargetReport>,
+}
+
+impl FuzzReport {
+    /// True when every target upheld the contract.
+    pub fn clean(&self) -> bool {
+        self.targets.iter().all(TargetReport::clean)
+    }
+
+    /// Total panics across targets.
+    pub fn panics(&self) -> usize {
+        self.targets.iter().map(|t| t.panics).sum()
+    }
+
+    /// Canonical JSON (deterministic order; seed-determined values
+    /// only).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("seed", self.seed.to_json()),
+            ("mutations_per_target", self.mutations_per_target.to_json()),
+            ("alloc_tracking", self.alloc_tracking.to_json()),
+            ("targets", self.targets.to_json()),
+        ])
+    }
+
+    /// The canonical `FUZZ_report.json` bytes.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Stable per-target seed stream: FNV-1a over the name folded into the
+/// master seed.
+fn target_seed(seed: u64, name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^ h
+}
+
+/// Decode `data` under panic capture and allocation watermarking.
+/// Returns `(outcome, peak_alloc)`; `outcome` is `None` on panic.
+fn guarded_decode(
+    target: &Target,
+    data: &[u8],
+) -> (Option<Result<(), holo_runtime::ser::DecodeError>>, usize) {
+    let baseline = alloc::reset_watermark();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| (target.decode)(data))).ok();
+    (outcome, alloc::peak_since(baseline))
+}
+
+/// Run one target's sweep.
+fn sweep_target(cfg: &FuzzConfig, target: &Target) -> TargetReport {
+    let mut report = TargetReport {
+        name: target.name.to_string(),
+        corpus: target.corpus.len(),
+        corpus_ok: 0,
+        mutations: 0,
+        accepted: 0,
+        rejected: 0,
+        rejected_by_kind: [0; 5],
+        panics: 0,
+        max_alloc: 0,
+        alloc_cap: target.alloc_cap,
+        cap_exceeded: 0,
+        by_family: [0; 5],
+    };
+    // Leg 3 of the contract: valid input round-trips.
+    for item in &target.corpus {
+        if matches!(guarded_decode(target, item).0, Some(Ok(()))) {
+            report.corpus_ok += 1;
+        }
+    }
+    // Legs 1 and 2: mutants never panic, never out-allocate the cap.
+    let mut mutator = Mutator::new(target_seed(cfg.seed, target.name));
+    for _ in 0..cfg.mutations_per_target {
+        let (mutant, family) = mutator.next_mutant(&target.corpus);
+        report.by_family[family] += 1;
+        report.mutations += 1;
+        let (outcome, peak) = guarded_decode(target, &mutant);
+        report.max_alloc = report.max_alloc.max(peak);
+        if peak > target.alloc_cap {
+            report.cap_exceeded += 1;
+        }
+        match outcome {
+            None => report.panics += 1,
+            Some(Ok(())) => report.accepted += 1,
+            Some(Err(e)) => {
+                report.rejected += 1;
+                let k = KINDS.iter().position(|k| *k == e.kind()).unwrap_or(KINDS.len() - 1);
+                report.rejected_by_kind[k] += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Run the full sweep over [`registry`]. The process panic hook is
+/// silenced for the duration and restored afterwards (even if the
+/// harness itself unwinds).
+pub fn run_sweep(cfg: &FuzzConfig) -> FuzzReport {
+    type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct HookGuard(Option<PanicHook>);
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            if let Some(hook) = self.0.take() {
+                panic::set_hook(hook);
+            }
+        }
+    }
+    let guard = HookGuard(Some(panic::take_hook()));
+    panic::set_hook(Box::new(|_| {}));
+
+    let targets = registry(cfg.seed);
+    let report = FuzzReport {
+        seed: cfg.seed,
+        mutations_per_target: cfg.mutations_per_target,
+        alloc_tracking: alloc::installed(),
+        targets: targets.iter().map(|t| sweep_target(cfg, t)).collect(),
+    };
+    drop(guard);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FuzzConfig {
+        FuzzConfig { seed: 7, mutations_per_target: 120 }
+    }
+
+    #[test]
+    fn sweep_finds_no_contract_violations() {
+        let report = run_sweep(&quick());
+        assert!(report.clean(), "contract violated: {report:?}");
+        assert_eq!(report.panics(), 0);
+        for t in &report.targets {
+            assert_eq!(t.corpus_ok, t.corpus, "{} corpus broken", t.name);
+            assert_eq!(t.mutations, 120);
+            assert!(t.rejected > 0, "{} rejected nothing — mutator too gentle", t.name);
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_per_seed() {
+        let a = run_sweep(&quick());
+        let b = run_sweep(&quick());
+        assert_eq!(a.render(), b.render());
+        let c = run_sweep(&FuzzConfig { seed: 8, mutations_per_target: 120 });
+        assert_ne!(a.render(), c.render(), "seed must be observable");
+        holo_runtime::ser::parse(&a.render()).expect("canonical JSON parses");
+    }
+
+    #[test]
+    fn truncations_land_in_the_truncated_bucket() {
+        // The taxonomy must be meaningful, not decorative: across the
+        // sweep, truncation rejections show up under their own kind.
+        let report = run_sweep(&quick());
+        let truncated: usize = report.targets.iter().map(|t| t.rejected_by_kind[0]).sum();
+        assert!(truncated > 0, "no Truncated rejections anywhere: {report:?}");
+        let checksum: usize = report
+            .targets
+            .iter()
+            .find(|t| t.name == "net.wire_frame")
+            .map(|t| t.rejected_by_kind[2] + t.rejected_by_kind[0] + t.rejected_by_kind[1])
+            .unwrap_or(0);
+        assert!(checksum > 0, "wire frames never tripped magic/CRC/truncation");
+    }
+
+    #[test]
+    fn panic_capture_actually_captures() {
+        // A deliberately broken target proves the harness would see a
+        // real panic rather than aborting the sweep.
+        let bad = Target {
+            name: "test.panics",
+            corpus: vec![vec![1, 2, 3]],
+            alloc_cap: 1 << 20,
+            decode: Box::new(|d| {
+                assert!(d.len() > 2, "boom");
+                Ok(())
+            }),
+        };
+        let cfg = FuzzConfig { seed: 1, mutations_per_target: 50 };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = sweep_target(&cfg, &bad);
+        std::panic::set_hook(prev);
+        assert!(report.panics > 0, "harness missed the panic: {report:?}");
+        assert!(!report.clean());
+    }
+}

@@ -1,0 +1,186 @@
+//! Seeded corpus mutators.
+//!
+//! Each mutation draws from a per-target PCG stream, so mutant `i` of
+//! target `t` under seed `s` is one fixed byte string forever — a crash
+//! report quoting `(seed, target, index)` reproduces the exact input.
+//!
+//! Five mutator families, weighted toward the failure modes wire
+//! decoders actually have:
+//!
+//! * **truncate** — cut the input at a random point (every decoder's
+//!   most common hostile case: a frame that stops mid-field);
+//! * **bit flips** — up to 8 single-bit flips (what the chaos layer's
+//!   `PayloadCorrupt` fault does to real frames);
+//! * **byte stomp** — overwrite a short random run with random bytes;
+//! * **splice** — head of one corpus item glued to the tail of another
+//!   (valid-looking framing with inconsistent interior state);
+//! * **length inflation** — overwrite a 2/4-byte aligned window with
+//!   huge little-endian counts, or stomp a plausible varint site with
+//!   an overlong encoding. This is the mutator that hunts unbounded
+//!   `Vec::with_capacity` calls specifically.
+
+use holo_math::Pcg32;
+
+/// Names of the mutator families, in draw order (stable across runs —
+/// reports index into this).
+pub const MUTATION_NAMES: [&str; 5] =
+    ["truncate", "bit_flip", "byte_stomp", "splice", "length_inflate"];
+
+/// A seeded mutator over a fixed corpus.
+pub struct Mutator {
+    rng: Pcg32,
+}
+
+impl Mutator {
+    /// Build from a seed (derive it per target: same seed + same call
+    /// sequence = same mutants).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: Pcg32::with_stream(seed, 0xF022) }
+    }
+
+    /// Produce the next mutant from `corpus`, returning the bytes and
+    /// the index into [`MUTATION_NAMES`] of the family used.
+    ///
+    /// Corpus items must be non-empty; an empty corpus yields an empty
+    /// mutant (which decoders must also survive).
+    pub fn next_mutant(&mut self, corpus: &[Vec<u8>]) -> (Vec<u8>, usize) {
+        if corpus.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let base = corpus[self.rng.index(corpus.len())].clone();
+        let family = self.rng.index(MUTATION_NAMES.len());
+        let mutant = match family {
+            0 => self.truncate(base),
+            1 => self.bit_flip(base),
+            2 => self.byte_stomp(base),
+            3 => self.splice(base, corpus),
+            _ => self.length_inflate(base),
+        };
+        (mutant, family)
+    }
+
+    fn truncate(&mut self, mut data: Vec<u8>) -> Vec<u8> {
+        if !data.is_empty() {
+            data.truncate(self.rng.index(data.len()));
+        }
+        data
+    }
+
+    fn bit_flip(&mut self, mut data: Vec<u8>) -> Vec<u8> {
+        if data.is_empty() {
+            return data;
+        }
+        let flips = 1 + self.rng.index(8);
+        for _ in 0..flips {
+            let bit = self.rng.index(data.len() * 8);
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+        data
+    }
+
+    fn byte_stomp(&mut self, mut data: Vec<u8>) -> Vec<u8> {
+        if data.is_empty() {
+            return data;
+        }
+        let run = 1 + self.rng.index(4.min(data.len()));
+        let start = self.rng.index(data.len() - run + 1);
+        for b in &mut data[start..start + run] {
+            *b = self.rng.next_u32() as u8;
+        }
+        data
+    }
+
+    fn splice(&mut self, head: Vec<u8>, corpus: &[Vec<u8>]) -> Vec<u8> {
+        let tail = &corpus[self.rng.index(corpus.len())];
+        let cut_head = if head.is_empty() { 0 } else { self.rng.index(head.len() + 1) };
+        let cut_tail = if tail.is_empty() { 0 } else { self.rng.index(tail.len() + 1) };
+        let mut out = head[..cut_head].to_vec();
+        out.extend_from_slice(&tail[cut_tail..]);
+        out
+    }
+
+    fn length_inflate(&mut self, mut data: Vec<u8>) -> Vec<u8> {
+        if data.is_empty() {
+            return data;
+        }
+        // Huge counts a naive decoder would feed straight into
+        // `Vec::with_capacity`: all-ones, i32::MAX, a few mid-range
+        // monsters. Also an overlong LEB128 varint for the varint-coded
+        // formats.
+        match self.rng.index(3) {
+            0 => {
+                // 4-byte LE inflation at a random offset.
+                let v: u32 =
+                    [u32::MAX, i32::MAX as u32, 0x4000_0000, 0x00FF_FFFF][self.rng.index(4)];
+                let at = self.rng.index(data.len());
+                for (i, b) in v.to_le_bytes().iter().enumerate() {
+                    if at + i < data.len() {
+                        data[at + i] = *b;
+                    }
+                }
+            }
+            1 => {
+                // 2-byte LE inflation (u16 counts: texture dims, blocks).
+                let at = self.rng.index(data.len());
+                data[at] = 0xFF;
+                if at + 1 < data.len() {
+                    data[at + 1] = 0xFF;
+                }
+            }
+            _ => {
+                // Max-value varint (5 bytes of continuation) spliced in.
+                let at = self.rng.index(data.len() + 1);
+                let tail = data.split_off(at);
+                data.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]);
+                data.extend_from_slice(&tail);
+            }
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<u8>> {
+        vec![(0u8..100).collect(), vec![7u8; 40], vec![1, 2, 3]]
+    }
+
+    #[test]
+    fn same_seed_same_mutants() {
+        let c = corpus();
+        let mut a = Mutator::new(99);
+        let mut b = Mutator::new(99);
+        for _ in 0..200 {
+            assert_eq!(a.next_mutant(&c), b.next_mutant(&c));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let c = corpus();
+        let mut a = Mutator::new(1);
+        let mut b = Mutator::new(2);
+        let diverged = (0..50).any(|_| a.next_mutant(&c) != b.next_mutant(&c));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn all_families_fire() {
+        let c = corpus();
+        let mut m = Mutator::new(5);
+        let mut seen = [false; MUTATION_NAMES.len()];
+        for _ in 0..200 {
+            let (_, family) = m.next_mutant(&c);
+            seen[family] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "family starved: {seen:?}");
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_mutant() {
+        let mut m = Mutator::new(5);
+        assert_eq!(m.next_mutant(&[]), (Vec::new(), 0));
+    }
+}

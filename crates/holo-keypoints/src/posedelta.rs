@@ -18,6 +18,7 @@ use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::primitives::{unzigzag, zigzag};
 use holo_compress::rc::{decode_bucketed, encode_bucketed, BitTree, RangeDecoder, RangeEncoder};
 use holo_math::{Quat, Vec3};
+use holo_runtime::ser::DecodeError;
 
 const KEY_MAGIC: u8 = 0x4B; // 'K'
 const DELTA_MAGIC: u8 = 0x44; // 'D'
@@ -150,8 +151,18 @@ impl PoseDeltaDecoder {
     }
 
     /// Decode one frame. `config` must match the encoder's.
-    pub fn decode(&mut self, data: &[u8], config: &PoseDeltaConfig) -> Result<SmplxParams, String> {
-        let (&magic, body) = data.split_first().ok_or("empty pose frame")?;
+    ///
+    /// Hostile-input contract: typed errors, and a delta frame whose
+    /// coded bytes run dry is rejected with the reference rolled back
+    /// (zero-fed deltas would silently corrupt the closed loop).
+    pub fn decode(
+        &mut self,
+        data: &[u8],
+        config: &PoseDeltaConfig,
+    ) -> Result<SmplxParams, DecodeError> {
+        let (&magic, body) = data
+            .split_first()
+            .ok_or(DecodeError::Truncated { needed: 1, available: 0 })?;
         match magic {
             KEY_MAGIC => {
                 let raw = lzma_decompress(body)?;
@@ -161,17 +172,29 @@ impl PoseDeltaDecoder {
                 Ok(payload.params)
             }
             DELTA_MAGIC => {
-                let reference =
-                    self.reference.as_mut().ok_or("pose delta before any keyframe")?;
+                let reference = self.reference.as_mut().ok_or_else(|| {
+                    DecodeError::corrupt("pose delta", "delta frame before any keyframe")
+                })?;
                 let mut dec = RangeDecoder::new(body);
                 let mut tree = BitTree::new(6);
-                for (i, r) in reference.iter_mut().enumerate() {
+                let mut next = reference.clone();
+                for (i, r) in next.iter_mut().enumerate() {
+                    if dec.exhausted() {
+                        return Err(DecodeError::Truncated {
+                            needed: reference.len(),
+                            available: i,
+                        });
+                    }
                     let q = unzigzag(decode_bucketed(&mut dec, &mut tree));
                     *r += q as f32 * step_for(i, config);
                 }
+                *reference = next;
                 Ok(params_from_vector(reference, &self.betas))
             }
-            other => Err(format!("unknown pose frame magic {other:#x}")),
+            other => Err(DecodeError::corrupt(
+                "pose delta",
+                format!("unknown pose frame magic {other:#x}"),
+            )),
         }
     }
 }

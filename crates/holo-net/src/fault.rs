@@ -90,6 +90,15 @@ pub enum FaultEffect {
     /// admission (the flap is invisible to the sender until packets
     /// die).
     LinkDown,
+    /// Per-frame payload corruption probability: delivered frames have
+    /// their bytes flipped in flight with this chance. Corruption is
+    /// rolled by the layers that carry real payload bytes (`Session`,
+    /// the SFU, the chaos stream harness) via
+    /// [`FaultClock::corrupt_roll`] — the link itself delivers the
+    /// frame on time, it just delivers *wrong bytes*, which only a
+    /// checksummed envelope can tell apart from good ones. Concurrent
+    /// windows combine as independent corruption chances.
+    PayloadCorrupt(f32),
 }
 
 /// A half-open time window `[from, until)` with an effect.
@@ -118,9 +127,16 @@ pub struct FaultClock {
     loss: Option<LossModel>,
     segments: Vec<FaultSegment>,
     rng: Pcg32,
+    /// Separate RNG stream for payload corruption, so adding a
+    /// `PayloadCorrupt` window to a plan never perturbs the loss
+    /// process — a corrupted run and its clean twin stay comparable
+    /// packet for packet.
+    corrupt_rng: Pcg32,
     in_bad: bool,
     /// Packets this clock decided to drop (outages + loss process).
     pub injected_drops: u64,
+    /// Frames this clock decided to corrupt in flight.
+    pub injected_corruptions: u64,
 }
 
 impl FaultClock {
@@ -131,8 +147,10 @@ impl FaultClock {
             loss,
             segments,
             rng: Pcg32::with_stream(seed, 0xFA17),
+            corrupt_rng: Pcg32::with_stream(seed, 0xC0DE),
             in_bad: false,
             injected_drops: 0,
+            injected_corruptions: 0,
         }
     }
 
@@ -209,6 +227,40 @@ impl FaultClock {
             self.injected_drops += 1;
         }
         lost
+    }
+
+    /// Combined corruption probability of all `PayloadCorrupt` windows
+    /// active at `at` (independent chances compose).
+    pub fn corrupt_rate(&self, at: SimTime) -> f32 {
+        let survive = self
+            .segments
+            .iter()
+            .filter(|s| s.active_at(at))
+            .fold(1.0f32, |acc, s| match s.effect {
+                FaultEffect::PayloadCorrupt(p) => acc * (1.0 - p.clamp(0.0, 1.0)),
+                _ => acc,
+            });
+        1.0 - survive
+    }
+
+    /// Roll the corruption process for one delivered frame at `at`.
+    /// Returns `Some(entropy)` when the frame's bytes are to be
+    /// corrupted — the entropy picks which bit(s) to flip, so the
+    /// damage itself replays deterministically. Draws from the corrupt
+    /// RNG only inside an active window, so plans without
+    /// `PayloadCorrupt` segments replay byte-identically to builds
+    /// that predate the fault kind.
+    pub fn corrupt_roll(&mut self, at: SimTime) -> Option<u64> {
+        let rate = self.corrupt_rate(at);
+        if rate <= 0.0 {
+            return None;
+        }
+        if self.corrupt_rng.chance(rate) {
+            self.injected_corruptions += 1;
+            Some(self.corrupt_rng.next_u64())
+        } else {
+            None
+        }
     }
 }
 
@@ -307,6 +359,65 @@ mod tests {
         assert!(clock.loss_roll(ms(19)));
         assert!(!clock.loss_roll(ms(20)));
         assert_eq!(clock.injected_drops, 2);
+    }
+
+    #[test]
+    fn corrupt_roll_fires_only_inside_windows() {
+        let mut clock = FaultClock::new(
+            None,
+            vec![FaultSegment {
+                from: ms(100),
+                until: ms(200),
+                effect: FaultEffect::PayloadCorrupt(1.0),
+            }],
+            3,
+        );
+        assert_eq!(clock.corrupt_roll(ms(50)), None);
+        assert!(clock.corrupt_roll(ms(150)).is_some());
+        assert_eq!(clock.corrupt_roll(ms(200)), None, "window end is exclusive");
+        assert_eq!(clock.injected_corruptions, 1);
+        assert_eq!(clock.corrupt_rate(ms(150)), 1.0);
+        assert_eq!(clock.corrupt_rate(ms(250)), 0.0);
+    }
+
+    #[test]
+    fn corruption_does_not_perturb_the_loss_process() {
+        // Same seed, with and without a corrupt window: the loss rolls
+        // must match draw for draw even when corruption is rolled
+        // in between (separate RNG streams).
+        let mut plain = FaultClock::new(Some(LossModel::burst5()), Vec::new(), 42);
+        let mut corrupting = FaultClock::new(
+            Some(LossModel::burst5()),
+            vec![FaultSegment {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs_f64(1e9),
+                effect: FaultEffect::PayloadCorrupt(0.5),
+            }],
+            42,
+        );
+        for i in 0..5000 {
+            let at = SimTime::from_micros(i);
+            assert_eq!(plain.loss_roll(at), corrupting.loss_roll(at));
+            let _ = corrupting.corrupt_roll(at);
+        }
+        assert!(corrupting.injected_corruptions > 1000);
+    }
+
+    #[test]
+    fn corrupt_rate_hits_its_mean() {
+        let mut clock = FaultClock::new(
+            None,
+            vec![FaultSegment {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs_f64(1e9),
+                effect: FaultEffect::PayloadCorrupt(0.1),
+            }],
+            9,
+        );
+        let n = 50_000;
+        let hits = (0..n).filter(|_| clock.corrupt_roll(SimTime::ZERO).is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "corrupt rate {rate}");
     }
 
     #[test]

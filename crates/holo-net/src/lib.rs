@@ -23,9 +23,12 @@
 //!   family the paper cites: plans rung choices over a horizon against a
 //!   frame-queue model.
 //! - [`fault`] — deterministic fault injection: seeded Gilbert–Elliott
-//!   burst loss, bandwidth drops, link flaps, and delay spikes compiled
-//!   into per-link [`FaultClock`]s consumed inside [`Link::transmit`]
-//!   (the substrate `holo-chaos` builds scenarios on).
+//!   burst loss, bandwidth drops, link flaps, delay spikes, and payload
+//!   corruption compiled into per-link [`FaultClock`]s consumed inside
+//!   [`Link::transmit`] (the substrate `holo-chaos` builds scenarios on).
+//! - [`wire`] — the versioned, CRC32-checksummed [`WireFrame`] envelope
+//!   `Session` and the SFU put on every hop, so corrupted payloads are
+//!   *detected and dropped* instead of poisoning the render path.
 //!
 //! [`Link::transmit`]: link::Link::transmit
 
@@ -38,6 +41,7 @@ pub mod predict;
 pub mod time;
 pub mod trace;
 pub mod transport;
+pub mod wire;
 
 pub use abr::{AbrController, Ladder, LadderRung};
 pub use fault::{FaultClock, FaultEffect, FaultSegment, LossModel};
@@ -48,3 +52,4 @@ pub use predict::{BandwidthPredictor, EwmaPredictor, HarmonicMeanPredictor};
 pub use time::SimTime;
 pub use trace::BandwidthTrace;
 pub use transport::{FrameReceiver, FrameSender, FrameTransport};
+pub use wire::{crc32, PayloadKind, WireFrame, MAX_WIRE_PAYLOAD, WIRE_HEADER_BYTES};

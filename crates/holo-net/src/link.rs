@@ -145,6 +145,13 @@ impl Link {
         self.fault.as_ref()
     }
 
+    /// Roll the installed clock's payload-corruption process for one
+    /// delivered frame at `at` (see [`FaultClock::corrupt_roll`]).
+    /// `None` when no clock is installed or the frame survives intact.
+    pub fn corrupt_roll(&mut self, at: SimTime) -> Option<u64> {
+        self.fault.as_mut().and_then(|c| c.corrupt_roll(at))
+    }
+
     /// Capacity actually available at `t` seconds: the trace rate
     /// scaled by any active fault-window bandwidth drop.
     pub fn effective_bps_at(&self, t: f64) -> f64 {

@@ -13,7 +13,10 @@
 //!   per-sample timing, median/p95) that writes `BENCH_<name>.json` at
 //!   the repo root for the perf trajectory.
 //! - [`ser`] — a minimal derive-free JSON emitter ([`ser::ToJson`]) and
-//!   parser, used for bench reports and structured test assertions.
+//!   parser, used for bench reports and structured test assertions,
+//!   plus the hostile-input decode primitives every wire-facing decoder
+//!   shares: the typed [`ser::DecodeError`] taxonomy and the
+//!   bounds-checked [`ser::ByteReader`] cursor.
 
 pub mod bench;
 pub mod bytes;

@@ -1,5 +1,7 @@
-//! Minimal derive-free JSON: a value tree, an emitter, a parser, and a
-//! [`ToJson`] trait for report output.
+//! Minimal derive-free serialization: a JSON value tree, an emitter, a
+//! parser, a [`ToJson`] trait for report output — and the hostile-input
+//! primitives every wire-facing decoder shares: the [`DecodeError`]
+//! taxonomy and the bounds-checked [`ByteReader`] cursor.
 //!
 //! This replaces the `serde` derives the workspace previously carried:
 //! the only serialization the repo performs is structured report output
@@ -8,6 +10,212 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Hostile-input decode primitives
+// ---------------------------------------------------------------------
+
+/// Why a decoder rejected its input. Shared by every byte-level decode
+/// surface in the workspace (compression codecs, pose payloads, text
+/// semantics, the wire envelope) so callers can count and classify
+/// rejections instead of pattern-matching strings.
+///
+/// The taxonomy is deliberately small: every hostile input is one of a
+/// stream that ends too early, a frame that is not ours, a frame that
+/// fails its checksum, a header that asks for more than the decoder is
+/// willing to allocate, or bytes that are structurally impossible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The stream ended before the decoder had what it needed.
+    Truncated {
+        /// Bytes the decoder needed at the failing read.
+        needed: usize,
+        /// Bytes actually available there.
+        available: usize,
+    },
+    /// The magic/tag at the head of the stream is not this decoder's.
+    BadMagic {
+        /// The magic this decoder accepts.
+        expected: u32,
+        /// The magic found on the wire.
+        found: u32,
+    },
+    /// A checksum over the payload did not match.
+    BadChecksum {
+        /// Checksum declared on the wire.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        found: u32,
+    },
+    /// A header-declared size exceeds the decoder's allocation cap.
+    /// Raised *before* any allocation happens — the cap is the
+    /// contract the fuzz harness enforces.
+    LimitExceeded {
+        /// What was being sized (stable, lowercase, e.g. `"lzma output"`).
+        what: &'static str,
+        /// The size the input asked for.
+        requested: u64,
+        /// The decoder's declared cap.
+        limit: u64,
+    },
+    /// Bytes that are structurally impossible for the format.
+    Corrupt {
+        /// Which decoder/field rejected the input (stable label).
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl DecodeError {
+    /// Build a [`DecodeError::Corrupt`] with a formatted detail.
+    pub fn corrupt(context: &'static str, detail: impl Into<String>) -> Self {
+        DecodeError::Corrupt { context, detail: detail.into() }
+    }
+
+    /// Stable lowercase label for counters and report keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DecodeError::Truncated { .. } => "truncated",
+            DecodeError::BadMagic { .. } => "bad_magic",
+            DecodeError::BadChecksum { .. } => "bad_checksum",
+            DecodeError::LimitExceeded { .. } => "limit_exceeded",
+            DecodeError::Corrupt { .. } => "corrupt",
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated stream: needed {needed} bytes, had {available}")
+            }
+            DecodeError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:#010x}, found {found:#010x}")
+            }
+            DecodeError::BadChecksum { expected, found } => {
+                write!(f, "bad checksum: wire says {expected:#010x}, payload hashes to {found:#010x}")
+            }
+            DecodeError::LimitExceeded { what, requested, limit } => {
+                write!(f, "{what}: input asks for {requested} bytes, cap is {limit}")
+            }
+            DecodeError::Corrupt { context, detail } => write!(f, "corrupt {context}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A bounds-checked forward cursor over untrusted bytes. Every read
+/// either returns the value or a typed [`DecodeError::Truncated`] —
+/// there is no panicking path, so decoders built on it survive any
+/// truncation of their input.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start a cursor at the head of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed everything.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The unread tail, without consuming it.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Consume the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { needed: n, available: self.remaining() });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u16`.
+    pub fn u16_le(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32_le(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64_le(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// Consume a little-endian `f32`.
+    pub fn f32_le(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.array()?))
+    }
+
+    /// Consume a LEB128 varint (at most 5 bytes; rejects overlong and
+    /// truncated encodings). Matches `holo-compress`'s wire varints.
+    pub fn varint(&mut self) -> Result<u32, DecodeError> {
+        let mut value: u32 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 28 && byte > 0x0F {
+                return Err(DecodeError::corrupt("varint", "value overflows u32"));
+            }
+            value |= ((byte & 0x7F) as u32) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err(DecodeError::corrupt("varint", "continuation past 5 bytes"));
+            }
+        }
+    }
+
+    /// Consume a little-endian `u32` and require it to equal `expected`.
+    pub fn expect_magic(&mut self, expected: u32) -> Result<(), DecodeError> {
+        let found = self.u32_le()?;
+        if found != expected {
+            return Err(DecodeError::BadMagic { expected, found });
+        }
+        Ok(())
+    }
+}
 
 /// A JSON value. Object keys keep insertion order via a Vec of pairs.
 #[derive(Debug, Clone, PartialEq)]
@@ -431,5 +639,77 @@ mod tests {
         assert_eq!("hi".to_json().render(), "\"hi\"");
         assert_eq!(vec![1u8, 2].to_json().render(), "[1,2]");
         assert_eq!(Option::<u32>::None.to_json().render(), "null");
+    }
+
+    #[test]
+    fn byte_reader_reads_and_rejects_truncation() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u16_le().unwrap(), 0x0302);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(
+            r.u32_le(),
+            Err(DecodeError::Truncated { needed: 4, available: 2 })
+        );
+        // A failed read consumes nothing.
+        assert_eq!(r.take(2).unwrap(), &[0x04, 0x05]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_reader_varint_matches_leb128() {
+        // 300 = 0xAC 0x02 in LEB128.
+        let mut r = ByteReader::new(&[0xAC, 0x02, 0x7F]);
+        assert_eq!(r.varint().unwrap(), 300);
+        assert_eq!(r.varint().unwrap(), 0x7F);
+        // Truncated continuation.
+        assert!(matches!(
+            ByteReader::new(&[0x80]).varint(),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Overlong: 6 continuation bytes cannot encode a u32.
+        assert!(matches!(
+            ByteReader::new(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]).varint(),
+            Err(DecodeError::Corrupt { .. })
+        ));
+        // High bits past 32 rejected.
+        assert!(matches!(
+            ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0x1F]).varint(),
+            Err(DecodeError::Corrupt { .. })
+        ));
+        assert_eq!(
+            ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).varint().unwrap(),
+            u32::MAX
+        );
+    }
+
+    #[test]
+    fn byte_reader_magic() {
+        let bytes = 0xDEAD_BEEFu32.to_le_bytes();
+        assert!(ByteReader::new(&bytes).expect_magic(0xDEAD_BEEF).is_ok());
+        assert_eq!(
+            ByteReader::new(&bytes).expect_magic(0x0BAD_F00D),
+            Err(DecodeError::BadMagic { expected: 0x0BAD_F00D, found: 0xDEAD_BEEF })
+        );
+    }
+
+    #[test]
+    fn decode_error_kinds_and_display() {
+        let errors = [
+            DecodeError::Truncated { needed: 4, available: 1 },
+            DecodeError::BadMagic { expected: 1, found: 2 },
+            DecodeError::BadChecksum { expected: 3, found: 4 },
+            DecodeError::LimitExceeded { what: "lzma output", requested: 10, limit: 5 },
+            DecodeError::corrupt("mesh", "impossible backref"),
+        ];
+        let kinds: Vec<&str> = errors.iter().map(DecodeError::kind).collect();
+        assert_eq!(
+            kinds,
+            ["truncated", "bad_magic", "bad_checksum", "limit_exceeded", "corrupt"]
+        );
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
     }
 }

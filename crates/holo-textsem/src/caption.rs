@@ -5,6 +5,7 @@ use crate::vq::Codebook;
 use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::primitives::{read_varint, write_varint};
 use holo_math::Vec3;
+use holo_runtime::ser::DecodeError;
 
 /// A frame caption: one token per occupied cell, in ascending cell order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,20 +40,36 @@ impl Caption {
     }
 
     /// Parse [`Caption::to_bytes`] output.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+    ///
+    /// Hostile-input contract: a token costs at least 2 bytes (two
+    /// varints), so the declared count is checked against the
+    /// decompressed length before the token vector is sized — a forged
+    /// count can't drive a huge allocation.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
         let raw = lzma_decompress(data)?;
-        let (count, mut pos) = read_varint(&raw).ok_or("truncated caption")?;
+        let (count, mut pos) = read_varint(&raw)
+            .ok_or(DecodeError::Truncated { needed: 1, available: raw.len() })?;
+        let budget = raw.len().saturating_sub(pos) / 2;
+        if count as usize > budget {
+            return Err(DecodeError::LimitExceeded {
+                what: "caption tokens",
+                requested: count as u64,
+                limit: budget as u64,
+            });
+        }
         let mut tokens = Vec::with_capacity(count as usize);
         let mut prev = 0u32;
         for _ in 0..count {
-            let (dc, used) = read_varint(&raw[pos..]).ok_or("truncated cell delta")?;
+            let (dc, used) = read_varint(&raw[pos..])
+                .ok_or(DecodeError::Truncated { needed: pos + 1, available: raw.len() })?;
             pos += used;
-            let (tok, used) = read_varint(&raw[pos..]).ok_or("truncated token")?;
+            let (tok, used) = read_varint(&raw[pos..])
+                .ok_or(DecodeError::Truncated { needed: pos + 1, available: raw.len() })?;
             pos += used;
             if tok > u16::MAX as u32 {
-                return Err(format!("token {tok} out of range"));
+                return Err(DecodeError::corrupt("caption", format!("token {tok} out of range")));
             }
-            prev += dc;
+            prev = prev.wrapping_add(dc);
             tokens.push((prev, tok as u16));
         }
         Ok(Self { tokens })

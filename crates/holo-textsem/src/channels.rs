@@ -15,6 +15,7 @@ use crate::decode::TextToCloud;
 use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::primitives::{read_varint, write_varint};
 use holo_math::Vec3;
+use holo_runtime::ser::DecodeError;
 use holo_mesh::pointcloud::PointCloud;
 use std::collections::HashMap;
 
@@ -41,18 +42,32 @@ impl GlobalChannel {
     }
 
     /// Parse.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+    ///
+    /// Hostile-input contract: an entry costs at least 4 bytes (one
+    /// varint + 3 centroid bytes), so the declared count is bounded by
+    /// the decompressed length before allocation.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
         let raw = lzma_decompress(data)?;
-        let (count, mut pos) = read_varint(&raw).ok_or("truncated global channel")?;
+        let (count, mut pos) = read_varint(&raw)
+            .ok_or(DecodeError::Truncated { needed: 1, available: raw.len() })?;
+        let budget = raw.len().saturating_sub(pos) / 4;
+        if count as usize > budget {
+            return Err(DecodeError::LimitExceeded {
+                what: "global channel entries",
+                requested: count as u64,
+                limit: budget as u64,
+            });
+        }
         let mut entries = Vec::with_capacity(count as usize);
         let mut prev = 0u32;
         for _ in 0..count {
-            let (dc, used) = read_varint(&raw[pos..]).ok_or("truncated cell")?;
+            let (dc, used) = read_varint(&raw[pos..])
+                .ok_or(DecodeError::Truncated { needed: pos + 1, available: raw.len() })?;
             pos += used;
             if pos + 3 > raw.len() {
-                return Err("truncated centroid".into());
+                return Err(DecodeError::Truncated { needed: pos + 3, available: raw.len() });
             }
-            prev += dc;
+            prev = prev.wrapping_add(dc);
             entries.push((prev, [raw[pos], raw[pos + 1], raw[pos + 2]]));
             pos += 3;
         }

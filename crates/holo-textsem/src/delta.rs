@@ -9,6 +9,7 @@
 use crate::caption::Caption;
 use holo_compress::lzma::{lzma_compress, lzma_decompress};
 use holo_compress::primitives::{read_varint, write_varint};
+use holo_runtime::ser::DecodeError;
 use std::collections::BTreeMap;
 
 /// One delta operation.
@@ -90,21 +91,36 @@ impl DeltaCoder {
     }
 
     /// Parse [`DeltaCoder::ops_to_bytes`].
-    pub fn ops_from_bytes(data: &[u8]) -> Result<Vec<DeltaOp>, String> {
+    ///
+    /// Hostile-input contract: an op costs at least 1 byte, so the
+    /// declared count is bounded by the decompressed length before the
+    /// ops vector is sized.
+    pub fn ops_from_bytes(data: &[u8]) -> Result<Vec<DeltaOp>, DecodeError> {
         let raw = lzma_decompress(data)?;
-        let (count, mut pos) = read_varint(&raw).ok_or("truncated delta header")?;
+        let (count, mut pos) = read_varint(&raw)
+            .ok_or(DecodeError::Truncated { needed: 1, available: raw.len() })?;
+        let budget = raw.len().saturating_sub(pos);
+        if count as usize > budget {
+            return Err(DecodeError::LimitExceeded {
+                what: "delta ops",
+                requested: count as u64,
+                limit: budget as u64,
+            });
+        }
         let mut ops = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let (tag, used) = read_varint(&raw[pos..]).ok_or("truncated delta op")?;
+            let (tag, used) = read_varint(&raw[pos..])
+                .ok_or(DecodeError::Truncated { needed: pos + 1, available: raw.len() })?;
             pos += used;
             let cell = tag >> 1;
             if tag & 1 == 1 {
                 ops.push(DeltaOp::Remove(cell));
             } else {
-                let (tok, used) = read_varint(&raw[pos..]).ok_or("truncated delta token")?;
+                let (tok, used) = read_varint(&raw[pos..])
+                    .ok_or(DecodeError::Truncated { needed: pos + 1, available: raw.len() })?;
                 pos += used;
                 if tok > u16::MAX as u32 {
-                    return Err("token out of range".into());
+                    return Err(DecodeError::corrupt("delta", "token out of range"));
                 }
                 ops.push(DeltaOp::Set(cell, tok as u16));
             }

@@ -1,0 +1,65 @@
+//! Fuzzing every wire decoder, deterministically.
+//!
+//! Sweeps the full `holo-fuzz` target registry — every public decoder
+//! that ever sees network bytes — with 10 000 seeded mutants per
+//! target (truncations, bit flips, splices, length-field inflation),
+//! and enforces the three-legged hostile-input contract: never panic,
+//! never allocate past the declared cap, round-trip valid input. This
+//! binary installs the tracking allocator, so the cap check is real.
+//!
+//! Writes the canonical `FUZZ_report.json`: same seed, same bytes
+//! (`scripts/verify.sh` runs it twice and byte-compares). Exits
+//! non-zero on any contract violation.
+//!
+//! Run with: `cargo run --release --example fuzz_sweep`
+//! (`SEMHOLO_EXAMPLE_QUICK=1` shrinks the sweep for CI smoke runs.)
+
+use holo_fuzz::{run_sweep, FuzzConfig, TrackingAllocator};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn main() {
+    let quick = std::env::var("SEMHOLO_EXAMPLE_QUICK").is_ok();
+    let cfg = FuzzConfig { seed: 7, mutations_per_target: if quick { 400 } else { 10_000 } };
+
+    println!(
+        "fuzz sweep: seed {}, {} mutants per target, allocation caps enforced\n",
+        cfg.seed, cfg.mutations_per_target
+    );
+    let report = run_sweep(&cfg);
+
+    println!(
+        "{:<24} {:>7} {:>8} {:>8} {:>7} {:>12} {:>8}",
+        "target", "corpus", "accepted", "rejected", "panics", "max_alloc", "over_cap"
+    );
+    for t in &report.targets {
+        println!(
+            "{:<24} {:>4}/{:<2} {:>8} {:>8} {:>7} {:>10}KB {:>8}",
+            t.name,
+            t.corpus_ok,
+            t.corpus,
+            t.accepted,
+            t.rejected,
+            t.panics,
+            t.max_alloc / 1024,
+            t.cap_exceeded,
+        );
+    }
+
+    let json = report.render();
+    std::fs::write("FUZZ_report.json", &json).expect("write FUZZ_report.json");
+    println!("\nwrote FUZZ_report.json ({} bytes, canonical)", json.len());
+
+    assert!(report.alloc_tracking, "tracking allocator not installed?");
+    if !report.clean() {
+        for t in report.targets.iter().filter(|t| !t.clean()) {
+            eprintln!(
+                "CONTRACT VIOLATION: {} (panics {}, over-cap {}, corpus {}/{})",
+                t.name, t.panics, t.cap_exceeded, t.corpus_ok, t.corpus
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("hostile-input contract holds: 0 panics, 0 over-cap allocations");
+}

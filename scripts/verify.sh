@@ -16,7 +16,7 @@ cargo test -q --offline --workspace
 
 echo "==> example smoke runs (SEMHOLO_EXAMPLE_QUICK=1)"
 for example in quickstart remote_collaboration telesurgery \
-    semantic_taxonomy_report conference_capacity chaos_recovery; do
+    semantic_taxonomy_report conference_capacity chaos_recovery fuzz_sweep; do
   echo "--> example: ${example}"
   SEMHOLO_EXAMPLE_QUICK=1 \
     cargo run -q --release --offline --example "${example}" >/dev/null
@@ -47,10 +47,21 @@ SEMHOLO_EXAMPLE_QUICK=1 \
 cmp /tmp/semholo_chaos_run1.json RESILIENCE_chaos.json
 rm -f /tmp/semholo_chaos_run1.json
 
+echo "==> fuzz smoke: seeded decoder sweep, twice, byte-identical"
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example fuzz_sweep >/dev/null
+mv FUZZ_report.json /tmp/semholo_fuzz_run1.json
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example fuzz_sweep >/dev/null
+# Mutants, corpora, and tallies all derive from the seed: same bytes.
+cmp /tmp/semholo_fuzz_run1.json FUZZ_report.json
+rm -f /tmp/semholo_fuzz_run1.json
+
 if command -v cargo-clippy >/dev/null 2>&1; then
-  echo "==> cargo clippy -p holo-trace -p holo-chaos -- -D warnings"
+  echo "==> cargo clippy -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
   cargo clippy -q --offline -p holo-trace --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-chaos --no-deps --all-targets -- -D warnings
+  cargo clippy -q --offline -p holo-fuzz --no-deps --all-targets -- -D warnings
 else
   echo "==> clippy unavailable; skipping lint step"
 fi

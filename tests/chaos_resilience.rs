@@ -99,6 +99,29 @@ fn session_recovery_follows_the_loss_policy() {
     assert_eq!(retx.frames, drop.frames);
 }
 
+/// Corruption is a detected failure, not a silent one: under burst
+/// loss plus ~3% payload corruption, every corrupted frame is caught
+/// by the envelope CRC and dropped, and the full mechanism set still
+/// recovers to a usable rate no worse than the *unprotected* stream
+/// under the same loss plan without corruption.
+#[test]
+fn corrupted_frames_are_detected_dropped_and_recovered() {
+    let cfg = StreamConfig::default();
+    let corrupt = run_stream_scenario(&FaultPlan::burst5_corrupt(11), &Mechanisms::full(), &cfg);
+    assert!(corrupt.corrupt_detected > 0, "no corruption injected: {corrupt:?}");
+    let base = run_stream_scenario(&FaultPlan::burst5(11), &Mechanisms::baseline(), &cfg);
+    assert!(
+        corrupt.usable_rate >= base.usable_rate,
+        "corruption broke recovery: {} < {}",
+        corrupt.usable_rate,
+        base.usable_rate
+    );
+    // Without a PayloadCorrupt window, the corruption stream is never
+    // consulted — pre-corruption scenarios replay byte-identically.
+    let plain = run_stream_scenario(&FaultPlan::burst5(11), &Mechanisms::full(), &cfg);
+    assert_eq!(plain.corrupt_detected, 0);
+}
+
 /// Same seed, same bytes — across the *entire* matrix: every stream
 /// plan × mechanism cell, every session, every room. This is what
 /// makes chaos results regression-diffable.
@@ -110,7 +133,7 @@ fn the_scenario_matrix_is_byte_identical_per_seed() {
     let c = run_scenarios(43);
     assert_ne!(a.render(), c.render(), "the seed must be observable in the report");
     // The matrix has the advertised shape.
-    assert_eq!(a.streams.len(), 20, "5 plans x 4 mechanism sets");
+    assert_eq!(a.streams.len(), 24, "6 plans x 4 mechanism sets");
     assert_eq!(a.sessions.len(), 4, "2 plans x 2 loss policies");
     assert_eq!(a.rooms.len(), 2, "collapse + churn");
     // And the clean/baseline corner is lossless, anchoring the scale.
