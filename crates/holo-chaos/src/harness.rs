@@ -449,9 +449,32 @@ pub fn room_collapse_plan(seed: u64) -> FaultPlan {
     FaultPlan::clean(seed).named("room_collapse").bandwidth(0.0, 1e6, 0.002)
 }
 
+/// One cell of the scenario matrix: plain data, so the whole matrix
+/// can ship to the fork-join pool and run in any worker layout.
+enum ScenarioItem {
+    Stream { plan: FaultPlan, mech: Mechanisms, cfg: StreamConfig },
+    Session { plan: FaultPlan, policy: LossPolicy },
+    Room { plan: FaultPlan, participants: usize, frames: usize, starved: usize },
+}
+
+/// The matching outcome, demuxed back into the report by family.
+enum ScenarioOut {
+    Stream(StreamOutcome),
+    Session(SessionOutcome),
+    Room(RoomOutcome),
+}
+
 /// Run the full scenario matrix and assemble the canonical report:
 /// stream plans × mechanism sets, session plans × loss policies, and
 /// the two room scenarios (ladder collapse, churn).
+///
+/// The cells are independent seeded simulations, so the whole matrix
+/// fans out over the deterministic fork-join pool
+/// ([`holo_trace::parallel::par_map`]): fixed partitioning by cell
+/// index, outcomes merged back in matrix order, worker-side spans and
+/// counters (`chaos.*`) folded into the caller's recorder at scope
+/// exit. The report — and any trace taken around it — is byte-identical
+/// across `SEMHOLO_THREADS=1..N`.
 pub fn run_scenarios(seed: u64) -> ResilienceReport {
     let cfg = StreamConfig::default();
     let stream_plans = [
@@ -464,19 +487,50 @@ pub fn run_scenarios(seed: u64) -> ResilienceReport {
     ];
     let mechanism_sets =
         [Mechanisms::baseline(), Mechanisms::fec(), Mechanisms::retransmit(), Mechanisms::full()];
-    let mut report = ResilienceReport { seed, ..Default::default() };
+    let mut items: Vec<ScenarioItem> = Vec::with_capacity(30);
     for plan in &stream_plans {
         for mech in &mechanism_sets {
-            report.streams.push(run_stream_scenario(plan, mech, &cfg));
+            items.push(ScenarioItem::Stream { plan: plan.clone(), mech: *mech, cfg });
         }
     }
     for plan in [FaultPlan::clean(seed), FaultPlan::burst5(seed)] {
         for policy in [LossPolicy::DropFrame, LossPolicy::RetransmitOnce] {
-            report.sessions.push(run_session_scenario(&plan, policy));
+            items.push(ScenarioItem::Session { plan: plan.clone(), policy });
         }
     }
-    report.rooms.push(run_room_scenario(&room_collapse_plan(seed), 3, 12, 2));
-    report.rooms.push(run_room_scenario(&FaultPlan::churny(seed, 3), 3, 10, 2));
+    items.push(ScenarioItem::Room {
+        plan: room_collapse_plan(seed),
+        participants: 3,
+        frames: 12,
+        starved: 2,
+    });
+    items.push(ScenarioItem::Room {
+        plan: FaultPlan::churny(seed, 3),
+        participants: 3,
+        frames: 10,
+        starved: 2,
+    });
+
+    let outcomes = holo_trace::parallel::par_map(items, |item| match item {
+        ScenarioItem::Stream { plan, mech, cfg } => {
+            ScenarioOut::Stream(run_stream_scenario(&plan, &mech, &cfg))
+        }
+        ScenarioItem::Session { plan, policy } => {
+            ScenarioOut::Session(run_session_scenario(&plan, policy))
+        }
+        ScenarioItem::Room { plan, participants, frames, starved } => {
+            ScenarioOut::Room(run_room_scenario(&plan, participants, frames, starved))
+        }
+    });
+
+    let mut report = ResilienceReport { seed, ..Default::default() };
+    for out in outcomes {
+        match out {
+            ScenarioOut::Stream(s) => report.streams.push(s),
+            ScenarioOut::Session(s) => report.sessions.push(s),
+            ScenarioOut::Room(r) => report.rooms.push(r),
+        }
+    }
     report
 }
 
@@ -601,5 +655,18 @@ mod tests {
         assert_eq!(a.rooms.len(), 2);
         let c = run_scenarios(8);
         assert_ne!(a.render(), c.render(), "seed must be observable");
+    }
+
+    #[test]
+    fn the_matrix_is_thread_count_independent() {
+        // Safe to flip the process-wide override mid-suite precisely
+        // because of what this test asserts: no result depends on it.
+        use holo_runtime::par;
+        par::set_thread_override(Some(1));
+        let one = run_scenarios(7).render();
+        par::set_thread_override(Some(8));
+        let eight = run_scenarios(7).render();
+        par::set_thread_override(None);
+        assert_eq!(one, eight, "report bytes diverged across thread counts");
     }
 }

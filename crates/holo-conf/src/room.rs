@@ -323,9 +323,16 @@ impl Room {
         }
 
         // --- Per-subscriber accounting. ---
+        // Each subscriber's pass reads only shared state (frame meta,
+        // the arrival matrix, its SFU port), so it fans out over the
+        // deterministic fork-join pool: one item per subscriber id,
+        // reports collected back in id order. Byte-identical across
+        // `SEMHOLO_THREADS=1..N`.
         let render_ms = cfg.render_overhead.as_secs_f64() * 1000.0;
-        let mut subscribers = Vec::with_capacity(n);
-        for s in 0..n {
+        let meta = &meta;
+        let arrivals = &arrivals;
+        let sfu_ref = &sfu;
+        let account = |s: usize| -> Result<SubscriberReport> {
             let device = &cfg.participants[s].device;
             let mut e2e = Summary::with_samples();
             let mut expected = 0usize;
@@ -386,8 +393,8 @@ impl Room {
                     last_usable_arrival = Some(arrival);
                 }
             }
-            let port = &sfu.ports[s];
-            subscribers.push(SubscriberReport {
+            let port = &sfu_ref.ports[s];
+            Ok(SubscriberReport {
                 id: s,
                 expected,
                 delivered,
@@ -406,8 +413,12 @@ impl Room {
                 degraded,
                 ladder_downgrades: port.degrade.as_ref().map_or(0, |d| d.downgrades),
                 ladder_upgrades: port.degrade.as_ref().map_or(0, |d| d.upgrades),
-            });
-        }
+            })
+        };
+        let subscribers: Vec<SubscriberReport> =
+            holo_trace::parallel::par_map((0..n).collect(), account)
+                .into_iter()
+                .collect::<Result<_>>()?;
 
         let rates: Vec<f64> = subscribers.iter().map(|s| s.usable_rate).collect();
         Ok(RoomReport {

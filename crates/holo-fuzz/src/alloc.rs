@@ -11,32 +11,52 @@
 //! static ALLOC: holo_fuzz::TrackingAllocator = holo_fuzz::TrackingAllocator;
 //! ```
 //!
-//! The allocator forwards to the system allocator and keeps two relaxed
-//! atomic counters: live bytes and a high-water mark. The harness
-//! resets the mark around each decode call and compares the delta
-//! against the target's declared cap. When the allocator is *not*
-//! installed (library consumers, ordinary test binaries), the counters
-//! never move, [`installed`] stays false, and the harness skips the cap
-//! check — the sweep still verifies "never panics" and "round-trips".
+//! The allocator forwards to the system allocator and keeps **per
+//! thread** counters — live bytes and a high-water mark — in const-init
+//! `thread_local!` cells (no lazy init, no destructor, so the hooks are
+//! allocation-free and safe even during TLS teardown). Per-thread is
+//! what makes the sweep parallelizable: each decode call runs entirely
+//! on one fork-join worker, so its watermark bracket sees only its own
+//! allocations and the measured peaks are identical at any
+//! `SEMHOLO_THREADS`. Global counters would interleave concurrent
+//! decodes and corrupt every delta.
+//!
+//! A buffer allocated on one thread and freed on another (e.g. a work
+//! chunk handed to a worker) decrements the freeing thread's live
+//! count, which saturates at zero; that can only happen *between*
+//! watermark brackets, and [`reset_watermark`] re-baselines, so decode
+//! deltas stay exact. When the allocator is *not* installed (library
+//! consumers, ordinary test binaries), the counters never move,
+//! [`installed`] stays false, and the harness skips the cap check — the
+//! sweep still verifies "never panics" and "round-trips".
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static LIVE: Cell<usize> = const { Cell::new(0) };
+    static PEAK: Cell<usize> = const { Cell::new(0) };
+}
 
 /// A counting wrapper around the system allocator (see module docs).
 pub struct TrackingAllocator;
 
 fn on_alloc(size: usize) {
     INSTALLED.store(true, Relaxed);
-    let live = LIVE.fetch_add(size, Relaxed) + size;
-    PEAK.fetch_max(live, Relaxed);
+    // `try_with`: never panic inside the allocator, even if a late
+    // allocation lands while this thread's TLS is being torn down.
+    let _ = LIVE.try_with(|live| {
+        let now = live.get() + size;
+        live.set(now);
+        let _ = PEAK.try_with(|peak| peak.set(peak.get().max(now)));
+    });
 }
 
 fn on_dealloc(size: usize) {
-    LIVE.fetch_sub(size, Relaxed);
+    let _ = LIVE.try_with(|live| live.set(live.get().saturating_sub(size)));
 }
 
 // SAFETY: pure pass-through to `System`; the counters carry no safety
@@ -70,23 +90,26 @@ pub fn installed() -> bool {
     INSTALLED.load(Relaxed)
 }
 
-/// Bytes currently allocated (0 when not installed).
+/// Bytes currently allocated by this thread (0 when not installed).
 pub fn live_bytes() -> usize {
-    LIVE.load(Relaxed)
+    LIVE.try_with(Cell::get).unwrap_or(0)
 }
 
-/// Reset the high-water mark to the current live count; returns the
-/// baseline the next [`peak_since`] call should subtract.
+/// Reset this thread's high-water mark to its current live count;
+/// returns the baseline the next [`peak_since`] call should subtract.
 pub fn reset_watermark() -> usize {
-    let live = LIVE.load(Relaxed);
-    PEAK.store(live, Relaxed);
-    live
+    LIVE.try_with(|live| {
+        let now = live.get();
+        let _ = PEAK.try_with(|peak| peak.set(now));
+        now
+    })
+    .unwrap_or(0)
 }
 
-/// Peak bytes allocated above `baseline` since the matching
+/// Peak bytes this thread allocated above `baseline` since the matching
 /// [`reset_watermark`].
 pub fn peak_since(baseline: usize) -> usize {
-    PEAK.load(Relaxed).saturating_sub(baseline)
+    PEAK.try_with(Cell::get).unwrap_or(0).saturating_sub(baseline)
 }
 
 #[cfg(test)]

@@ -25,9 +25,11 @@ pub struct Target {
     pub corpus: Vec<Vec<u8>>,
     /// Peak-allocation cap per decode call, bytes.
     pub alloc_cap: usize,
-    /// The decoder under test.
+    /// The decoder under test. `Send + Sync` so the sweep can share
+    /// the registry across fork-join workers; stateful decoders rebuild
+    /// their state per call, so a shared closure is still isolated.
     #[allow(clippy::type_complexity)]
-    pub decode: Box<dyn Fn(&[u8]) -> Result<(), DecodeError>>,
+    pub decode: Box<dyn Fn(&[u8]) -> Result<(), DecodeError> + Send + Sync>,
 }
 
 const MIB: usize = 1 << 20;

@@ -2,7 +2,7 @@
 //! text-semantics reconstruction target.
 
 use holo_math::{Aabb, Mat4, Vec3};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A point cloud with optional per-point colors.
 #[derive(Debug, Clone, Default)]
@@ -95,7 +95,9 @@ impl PointCloud {
             n: u32,
         }
         let inv = 1.0 / voxel_size;
-        let mut cells: HashMap<(i32, i32, i32), Acc> = HashMap::new();
+        // BTreeMap: iteration is already in voxel-key order, so the
+        // output order is canonical by construction.
+        let mut cells: BTreeMap<(i32, i32, i32), Acc> = BTreeMap::new();
         let colored = !self.colors.is_empty();
         for (i, &p) in self.points.iter().enumerate() {
             let key = (
@@ -110,11 +112,8 @@ impl PointCloud {
             }
             acc.n += 1;
         }
-        // Sort by key so output order is deterministic across runs.
-        let mut entries: Vec<_> = cells.into_iter().collect();
-        entries.sort_by_key(|(k, _)| *k);
         let mut out = PointCloud::new();
-        for (_, acc) in entries {
+        for (_, acc) in cells {
             let n = acc.n as f32;
             out.points.push(acc.pos / n);
             if colored {

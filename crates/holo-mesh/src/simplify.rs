@@ -9,7 +9,7 @@
 
 use crate::trimesh::TriMesh;
 use holo_math::Vec3;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Simplify by clustering vertices onto a grid with `cells` cells along
 /// the longest bounding-box axis. Degenerate faces (two or more corners
@@ -28,8 +28,10 @@ pub fn simplify_cluster(mesh: &TriMesh, cells: u32) -> TriMesh {
             ((v.z - bounds.min.z) / cell).floor() as i32,
         )
     };
-    // Accumulate cluster means.
-    let mut clusters: HashMap<(i32, i32, i32), (Vec3, u32, u32)> = HashMap::new();
+    // Accumulate cluster means. BTreeMap so any iteration over the map
+    // is canonically ordered; output order is the (semantic)
+    // first-visit id order, restored by the sort below.
+    let mut clusters: BTreeMap<(i32, i32, i32), (Vec3, u32, u32)> = BTreeMap::new();
     let mut vertex_cluster = Vec::with_capacity(mesh.vertices.len());
     for &v in &mesh.vertices {
         let k = key(v);

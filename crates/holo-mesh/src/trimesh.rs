@@ -1,7 +1,7 @@
 //! Indexed triangle meshes.
 
 use holo_math::{Aabb, Mat4, Pcg32, Vec3};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An indexed triangle mesh: a vertex buffer plus a face index buffer.
 ///
@@ -161,8 +161,10 @@ impl TriMesh {
 
     /// Undirected edge list with per-edge face counts. Edges with count 1
     /// are boundary edges; counts > 2 indicate non-manifold topology.
-    pub fn edge_face_counts(&self) -> HashMap<(u32, u32), u32> {
-        let mut edges: HashMap<(u32, u32), u32> = HashMap::new();
+    /// Returned as a `BTreeMap` so callers iterating it (reports, dumps)
+    /// get canonical edge order by construction.
+    pub fn edge_face_counts(&self) -> BTreeMap<(u32, u32), u32> {
+        let mut edges: BTreeMap<(u32, u32), u32> = BTreeMap::new();
         for f in &self.faces {
             for k in 0..3 {
                 let a = f[k];

@@ -458,7 +458,7 @@ mod tests {
 
     #[test]
     fn bench_name_strips_metadata_hash() {
-        assert_eq!(super::bench_target_name().is_empty(), false);
+        assert!(!super::bench_target_name().is_empty());
     }
 
     #[test]

@@ -17,8 +17,13 @@
 //!   plus the hostile-input decode primitives every wire-facing decoder
 //!   shares: the typed [`ser::DecodeError`] taxonomy and the
 //!   bounds-checked [`ser::ByteReader`] cursor.
+//! - [`par`] — the deterministic fork-join pool (`par_map`/`scope`):
+//!   fixed index partitioning, canonical-order merge, panic
+//!   propagation, and observer hooks so `holo-trace` can merge worker
+//!   recorders byte-identically across `SEMHOLO_THREADS=1..N`.
 
 pub mod bench;
 pub mod bytes;
 pub mod check;
+pub mod par;
 pub mod ser;

@@ -1,7 +1,7 @@
 //! Cell partitions and per-cell geometric features.
 
 use holo_math::{Aabb, Vec3};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Dimensionality of a cell feature vector.
 pub const FEATURE_DIM: usize = 7;
@@ -78,7 +78,9 @@ impl CellPartition {
             min: Vec3,
             max: Vec3,
         }
-        let mut cells: HashMap<u32, Acc> = HashMap::new();
+        // BTreeMap: iteration is already in cell-index order, so the
+        // output is canonical by construction, not by a trailing sort.
+        let mut cells: BTreeMap<u32, Acc> = BTreeMap::new();
         for &p in points {
             if let Some(idx) = self.cell_of(p) {
                 let acc = cells.entry(idx).or_insert(Acc {
@@ -94,7 +96,7 @@ impl CellPartition {
             }
         }
         let s = self.cell_size();
-        let mut out: Vec<(u32, CellFeature)> = cells
+        cells
             .into_iter()
             .map(|(idx, acc)| {
                 let center = self.cell_center(idx);
@@ -114,9 +116,7 @@ impl CellPartition {
                 ]);
                 (idx, f)
             })
-            .collect();
-        out.sort_by_key(|(idx, _)| *idx);
-        out
+            .collect()
     }
 }
 

@@ -17,6 +17,7 @@ use holo_compress::primitives::{read_varint, write_varint};
 use holo_math::Vec3;
 use holo_runtime::ser::DecodeError;
 use holo_mesh::pointcloud::PointCloud;
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 /// The global channel: per-coarse-cell centroids quantized to 8 bits per
@@ -90,8 +91,10 @@ impl GlobalLocalCodec {
     /// Encode both channels.
     pub fn encode(&self, points: &[Vec3]) -> (GlobalChannel, Caption) {
         let local = self.captioner.caption(points);
-        // Global: centroid of the points in each coarse cell.
-        let mut acc: HashMap<u32, (Vec3, u32)> = HashMap::new();
+        // Global: centroid of the points in each coarse cell. BTreeMap
+        // iteration is already in cell order, so the channel's entry
+        // order is canonical by construction.
+        let mut acc: BTreeMap<u32, (Vec3, u32)> = BTreeMap::new();
         for &p in points {
             if let Some(c) = self.global_partition.cell_of(p) {
                 let e = acc.entry(c).or_insert((Vec3::ZERO, 0));
@@ -100,7 +103,7 @@ impl GlobalLocalCodec {
             }
         }
         let s = self.global_partition.cell_size();
-        let mut entries: Vec<(u32, [u8; 3])> = acc
+        let entries: Vec<(u32, [u8; 3])> = acc
             .into_iter()
             .map(|(cell, (sum, n))| {
                 let centroid = sum / n as f32;
@@ -110,7 +113,6 @@ impl GlobalLocalCodec {
                 (cell, [q(rel.x, s.x), q(rel.y, s.y), q(rel.z, s.z)])
             })
             .collect();
-        entries.sort_by_key(|(c, _)| *c);
         (GlobalChannel { entries }, local)
     }
 
@@ -130,7 +132,9 @@ impl GlobalLocalCodec {
             target.insert(cell, center + Vec3::new(dq(q[0], s.x), dq(q[1], s.y), dq(q[2], s.z)));
         }
         // Current centroid per coarse cell of the decoded cloud.
-        let mut acc: HashMap<u32, (Vec3, u32)> = HashMap::new();
+        // Ordered like the encoder's accumulator, so any future
+        // iteration over it stays canonical.
+        let mut acc: BTreeMap<u32, (Vec3, u32)> = BTreeMap::new();
         let assignment: Vec<Option<u32>> =
             cloud.points.iter().map(|&p| self.global_partition.cell_of(p)).collect();
         for (p, cell) in cloud.points.iter().zip(&assignment) {

@@ -19,9 +19,11 @@
 //!    immediately without allocating or touching the thread-local
 //!    recorder. Enable with `SEMHOLO_TRACE=1` or [`enable`].
 //!
-//! The recorder is thread-local: the simulations are single-threaded
-//! per run, so each session/room owns its own event stream and tests
-//! can run in parallel without interleaving spans.
+//! The recorder is thread-local: each simulation thread owns its own
+//! event stream, so tests run in parallel without interleaving spans.
+//! When a simulation fans out over the deterministic fork-join pool,
+//! use [`parallel::par_map`] — it merges worker recorders back into the
+//! caller's at scope exit, byte-identically across thread counts.
 //!
 //! - [`recorder`] — the thread-local [`Recorder`]: span enter/exit with
 //!   parent nesting, logical lane ids (chrome "tids"), metrics.
@@ -30,6 +32,9 @@
 //! - [`chrome`] — `chrome://tracing` / Perfetto trace-event export.
 //! - [`report`] — [`TraceReport`]: the per-stage latency table printed
 //!   by `examples/quickstart.rs` and the benches.
+//! - [`parallel`] — `holo_runtime::par` scope hooks: deterministic
+//!   worker-recorder merge (spans re-sorted by `(start_us, lane)` with
+//!   a stable per-thread `seq` tiebreak at scope exit).
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod parallel;
 pub mod recorder;
 pub mod report;
 

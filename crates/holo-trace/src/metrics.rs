@@ -59,6 +59,25 @@ impl Gauge {
             self.sum / self.count as f64
         }
     }
+
+    /// Fold another gauge's observations into this one, as if they had
+    /// been recorded here after this gauge's own (so `last` takes the
+    /// other's last). Used by the fork-join trace merge, where "after"
+    /// means later in canonical worker order.
+    pub fn absorb(&mut self, other: &Gauge) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+        self.last = other.last;
+    }
 }
 
 impl ToJson for Gauge {
@@ -134,6 +153,24 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(&b, &c)| (b, c))
             .collect()
+    }
+
+    /// Fold another histogram's observations into this one. Bucket
+    /// counts and totals add exactly; only `sum` is float, so the merge
+    /// is order-sensitive in at most the last ulp — see DESIGN.md §10
+    /// for why no cross-thread-deterministic report depends on it.
+    pub fn absorb(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate quantile `q` in `[0, 1]` from the bucket counts:
@@ -229,6 +266,23 @@ impl Metrics {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Fold another registry into this one: counters add, gauges and
+    /// histograms [`Gauge::absorb`]/[`Histogram::absorb`]. The caller
+    /// (the fork-join scope merge) invokes this in canonical worker
+    /// order, so counter totals — the values report assertions read —
+    /// are exact and thread-count-independent.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, delta) in &other.counters {
+            self.counter(name, *delta);
+        }
+        for (name, g) in &other.gauges {
+            self.gauges.entry(name.clone()).or_default().absorb(g);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().absorb(h);
+        }
+    }
+
     /// Canonical JSON snapshot: `BTreeMap` iteration gives sorted keys,
     /// so equal metric states render byte-identically.
     pub fn to_json(&self) -> JsonValue {
@@ -298,6 +352,48 @@ mod tests {
     #[test]
     fn empty_histogram_quantile_is_nan() {
         assert!(Histogram::default().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        // Recording a+b sequentially must equal recording them into two
+        // registries and merging — the fork-join identity contract.
+        let obs_a = [0.3, 42.0, 5e7];
+        let obs_b = [0.4, 2.0];
+        let mut seq = Metrics::default();
+        for &v in obs_a.iter().chain(&obs_b) {
+            seq.counter("n", 1);
+            seq.gauge("g", v);
+            seq.histogram("h", v);
+        }
+        let mut left = Metrics::default();
+        for &v in &obs_a {
+            left.counter("n", 1);
+            left.gauge("g", v);
+            left.histogram("h", v);
+        }
+        let mut right = Metrics::default();
+        for &v in &obs_b {
+            right.counter("n", 1);
+            right.gauge("g", v);
+            right.histogram("h", v);
+        }
+        left.merge(&right);
+        assert_eq!(seq.to_json().render(), left.to_json().render());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = Metrics::default();
+        m.counter("c", 7);
+        m.gauge("g", 1.0);
+        m.histogram("h", 2.0);
+        let before = m.to_json().render();
+        m.merge(&Metrics::default());
+        assert_eq!(before, m.to_json().render());
+        let mut empty = Metrics::default();
+        empty.merge(&m);
+        assert_eq!(before, empty.to_json().render());
     }
 
     #[test]

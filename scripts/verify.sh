@@ -57,8 +57,28 @@ SEMHOLO_EXAMPLE_QUICK=1 \
 cmp /tmp/semholo_fuzz_run1.json FUZZ_report.json
 rm -f /tmp/semholo_fuzz_run1.json
 
+echo "==> cross-thread gate: SEMHOLO_THREADS=1 vs =8, byte-identical"
+# The fork-join pool's contract (DESIGN.md §10): thread count changes
+# wall-clock time only, never bytes. Run the chaos matrix and the fuzz
+# sweep at both extremes and cmp the artifacts.
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
+  cargo run -q --release --offline --example chaos_recovery >/dev/null
+mv RESILIENCE_chaos.json /tmp/semholo_chaos_t1.json
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
+  cargo run -q --release --offline --example chaos_recovery >/dev/null
+cmp /tmp/semholo_chaos_t1.json RESILIENCE_chaos.json
+rm -f /tmp/semholo_chaos_t1.json
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
+  cargo run -q --release --offline --example fuzz_sweep >/dev/null
+mv FUZZ_report.json /tmp/semholo_fuzz_t1.json
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
+  cargo run -q --release --offline --example fuzz_sweep >/dev/null
+cmp /tmp/semholo_fuzz_t1.json FUZZ_report.json
+rm -f /tmp/semholo_fuzz_t1.json
+
 if command -v cargo-clippy >/dev/null 2>&1; then
-  echo "==> cargo clippy -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
+  echo "==> cargo clippy -p holo-runtime -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
+  cargo clippy -q --offline -p holo-runtime --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-trace --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-chaos --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fuzz --no-deps --all-targets -- -D warnings

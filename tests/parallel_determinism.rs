@@ -1,0 +1,108 @@
+//! Parallel determinism: every canonical artifact — `RoomReport`,
+//! `ResilienceReport`, `FUZZ_report`, chrome traces, metric snapshots —
+//! is byte-identical across `SEMHOLO_THREADS` 1, 2, and 8.
+//!
+//! This is the conformance suite for the fork-join pool's contract:
+//! fixed partitioning, canonical-order merge, and the trace recorder's
+//! `(start_us, lane, seq)` re-sort at scope exit. Each artifact's FNV-1a
+//! digest is additionally checked against a golden pinned here, so a
+//! regression that changes the bytes *identically at every thread
+//! count* (e.g. a silent seed change) still fails loudly.
+
+use holo_chaos::harness::run_scenarios;
+use holo_conf::{ParticipantConfig, Room, RoomConfig};
+use holo_fuzz::{run_sweep, FuzzConfig};
+use holo_runtime::par;
+use semholo::keypoint::{KeypointConfig, KeypointPipeline};
+use semholo::semantics::SemanticPipeline;
+use semholo::{SceneSource, SemHoloConfig};
+
+/// FNV-1a over the artifact bytes: stable, dependency-free, and enough
+/// to pin "these exact bytes" in a golden.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn scene() -> SceneSource {
+    let config =
+        SemHoloConfig { capture_resolution: (48, 36), camera_count: 2, ..Default::default() };
+    SceneSource::new(&config, 0.5)
+}
+
+fn room_report() -> String {
+    let cfg = RoomConfig {
+        participants: ParticipantConfig::uniform_room(3, 25e6),
+        frames: 5,
+        seed: 42,
+        share_encoder: true,
+        ..Default::default()
+    };
+    let mut pipelines: Vec<Box<dyn SemanticPipeline>> = vec![Box::new(KeypointPipeline::new(
+        KeypointConfig { resolution: 24, ..Default::default() },
+        7,
+    ))];
+    Room::new(cfg).unwrap().run(&scene(), &mut pipelines).unwrap().render()
+}
+
+/// One full artifact set at the current thread count:
+/// `(room, resilience, fuzz, chrome trace, metric snapshot)` digests.
+fn artifact_digests() -> [u64; 5] {
+    let room = fnv1a64(room_report().as_bytes());
+    let resilience = fnv1a64(run_scenarios(42).render().as_bytes());
+    // 600 mutants per target spans three fixed 250-mutant chunks, so
+    // the cross-chunk fold is exercised, not just chunk 0.
+    let fuzz = fnv1a64(
+        run_sweep(&FuzzConfig { seed: 7, mutations_per_target: 600 }).render().as_bytes(),
+    );
+    // A traced chaos matrix: worker spans (chaos.outage) and counters
+    // (chaos.*) must merge into the caller's recorder identically.
+    // Only the counters section is digested — histograms may hold
+    // wall-clock values (the compress codecs' timing histograms), which
+    // are excluded from the byte-identity guarantee by design.
+    holo_trace::enable();
+    holo_trace::reset();
+    let _ = run_scenarios(42);
+    let chrome = fnv1a64(holo_trace::chrome_trace().as_bytes());
+    let counters = holo_trace::snapshot_json()
+        .get("counters")
+        .expect("snapshot has a counters section")
+        .render();
+    let snapshot = fnv1a64(counters.as_bytes());
+    holo_trace::disable();
+    holo_trace::reset();
+    [room, resilience, fuzz, chrome, snapshot]
+}
+
+/// Goldens for the artifact set (order: room, resilience, fuzz, chrome,
+/// snapshot). Pinned from a `SEMHOLO_THREADS=1` run; the test proves
+/// every other thread count produces the same bytes.
+const GOLDEN: [u64; 5] = [
+    0xdc36754bb8f72046,
+    0xb17b12f6b905488f,
+    0x04784ca02f924a59,
+    0x9ab62be313fbae97,
+    0xf458be6318ffbe6a,
+];
+
+#[test]
+fn reports_and_traces_byte_identical_at_threads_1_2_8() {
+    // One test drives all thread counts: the override is process-wide,
+    // so splitting this into per-count tests would race.
+    let names = ["RoomReport", "ResilienceReport", "FUZZ_report", "chrome_trace", "metrics"];
+    for t in [1usize, 2, 8] {
+        par::set_thread_override(Some(t));
+        let digests = artifact_digests();
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(
+                digests[i], GOLDEN[i],
+                "{name} diverged at SEMHOLO_THREADS={t}: {:#018x} != golden {:#018x}",
+                digests[i], GOLDEN[i]
+            );
+        }
+    }
+    par::set_thread_override(None);
+}
