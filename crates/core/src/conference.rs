@@ -25,13 +25,21 @@ pub struct ConferenceReport {
     /// Whether the given access capacity fits upload + download.
     pub fits: bool,
     /// Largest participant count whose traffic fits the access capacity.
+    /// Follows the 0-participant convention of
+    /// [`closed_form_max_participants`]: 0 when even the lone upload
+    /// saturates the link (the room holds nobody, not one person).
     pub max_participants: usize,
 }
 
 /// Closed-form room capacity: the largest N such that one upload plus
 /// N-1 downloads of `stream_bps` fit on `access_bps` (SFU topology).
-/// Returns 0 when even the single upload saturates the link, and
-/// `usize::MAX` for a free stream.
+///
+/// **The 0-participant convention:** when the single upload alone
+/// exceeds the access link the room holds *nobody* — the function
+/// returns 0, never 1. (The pre-PR-2 `.max(0) + 1` formula could not
+/// express an empty room and misreported saturating streams as a
+/// room of one.) A free stream (`stream_bps <= 0`) has unbounded
+/// capacity: `usize::MAX`.
 pub fn closed_form_max_participants(stream_bps: f64, access_bps: f64) -> usize {
     if stream_bps <= 0.0 {
         return usize::MAX;
@@ -41,6 +49,52 @@ pub fn closed_form_max_participants(stream_bps: f64, access_bps: f64) -> usize {
         return 0;
     }
     ((access_bps - stream_bps) / stream_bps).floor().max(0.0) as usize + 1
+}
+
+/// Closed-form capacity of one room *spanning a fleet* of `nodes`
+/// cascaded SFUs with participants spread evenly across them. The
+/// cascade invariant makes the arithmetic: each publisher's stream
+/// crosses each directed inter-SFU link **once** (one copy per remote
+/// SFU, not per remote subscriber), so a directed cascade link out of
+/// a node carries exactly that node's publishers. The bound is the
+/// largest N such that
+///
+/// 1. every participant's access link carries one upload plus N-1
+///    downloads of `stream_bps` (the
+///    [`closed_form_max_participants`] bound), and
+/// 2. every directed cascade link carries its source node's
+///    `ceil(N / nodes)` publisher streams within `cascade_bps`.
+///
+/// Conventions mirror [`closed_form_max_participants`]: the result is
+/// **0** (an empty fleet, never a room of one) when `nodes == 0`,
+/// when a single stream saturates the access link, or when — with
+/// more than one node — a single stream saturates a cascade link (a
+/// spanning room cannot exist). A free stream is unbounded:
+/// `usize::MAX`. With `nodes == 1` there is no cascade and the bound
+/// reduces exactly to the single-SFU closed form.
+pub fn closed_form_fleet_capacity(
+    nodes: usize,
+    cascade_bps: f64,
+    access_bps: f64,
+    stream_bps: f64,
+) -> usize {
+    if nodes == 0 {
+        return 0;
+    }
+    if stream_bps <= 0.0 {
+        return usize::MAX;
+    }
+    let access_bound = closed_form_max_participants(stream_bps, access_bps);
+    if access_bound == 0 || nodes == 1 {
+        return access_bound;
+    }
+    // Per-node publisher budget on each directed cascade link.
+    let per_node = (cascade_bps / stream_bps).floor().max(0.0) as usize;
+    if per_node == 0 {
+        // The cascade cannot carry even one stream: no spanning room.
+        return 0;
+    }
+    access_bound.min(per_node.saturating_mul(nodes))
 }
 
 /// Simulation-backed room capacity: the largest N in `[2, cap]` for
@@ -218,6 +272,37 @@ mod tests {
         assert_eq!(closed_form_max_participants(5e6, 25e6), 5);
         // A free stream has unbounded capacity.
         assert_eq!(closed_form_max_participants(0.0, 25e6), usize::MAX);
+    }
+
+    #[test]
+    fn fleet_closed_form_edge_cases() {
+        // No nodes, no room.
+        assert_eq!(closed_form_fleet_capacity(0, 1e9, 25e6, 5e6), 0);
+        // Free streams are unbounded.
+        assert_eq!(closed_form_fleet_capacity(4, 1e9, 25e6, 0.0), usize::MAX);
+        // One node reduces to the single-SFU closed form.
+        assert_eq!(
+            closed_form_fleet_capacity(1, 1e9, 25e6, 5e6),
+            closed_form_max_participants(5e6, 25e6)
+        );
+        // A stream wider than the access link holds nobody (the PR 2
+        // convention), regardless of cascade headroom.
+        assert_eq!(closed_form_fleet_capacity(4, 1e12, 25e6, 30e6), 0);
+        // A stream wider than the cascade cannot span nodes at all.
+        assert_eq!(closed_form_fleet_capacity(4, 1e6, 1e9, 5e6), 0);
+    }
+
+    #[test]
+    fn fleet_closed_form_cascade_binds_before_access() {
+        // 5 Mbps streams on 1 Gbps access: the access side would fit
+        // 200 participants. But a 25 Mbps cascade carries only 5
+        // publishers per node: 4 nodes cap the spanning room at 20.
+        assert_eq!(closed_form_fleet_capacity(4, 25e6, 1e9, 5e6), 20);
+        // Doubling the fleet doubles the cascade-bound capacity until
+        // the access bound takes over.
+        assert_eq!(closed_form_fleet_capacity(8, 25e6, 1e9, 5e6), 40);
+        let access_bound = closed_form_max_participants(5e6, 1e9);
+        assert_eq!(closed_form_fleet_capacity(64, 25e6, 1e9, 5e6), access_bound);
     }
 
     #[test]

@@ -8,10 +8,18 @@
 
 use crate::participant::ParticipantConfig;
 use crate::room::{Room, RoomConfig};
-use semholo::conference::{closed_form_max_participants, simulated_max_participants};
 use semholo::error::Result;
 use semholo::scene::SceneSource;
 use semholo::semantics::SemanticPipeline;
+
+// The oracle hooks, re-exported so layers embedding a `Room` as a
+// component (holo-fleet's sharded SFU fabric) reach the whole
+// capacity toolkit — monotone search, closed-form bounds, comparison —
+// through this crate without depending on `core` paths directly.
+pub use semholo::conference::{
+    closed_form_fleet_capacity, closed_form_max_participants, compare_capacity,
+    simulated_max_participants, CapacityComparison,
+};
 
 /// When does a room still "fit"?
 #[derive(Debug, Clone, Copy)]

@@ -33,7 +33,15 @@
 //!   distributions, Jain fairness, queue occupancy; byte-identical
 //!   rendering per seed.
 //! - [`capacity`] — the empirical "how many people fit" measurement,
-//!   validated against `core::conference`'s closed-form bound.
+//!   validated against `core::conference`'s closed-form bound, with the
+//!   oracle hooks (monotone search, closed forms) re-exported for
+//!   embedders.
+//!
+//! A [`Room`] is deliberately an **embeddable component**, not just a
+//! top-level experiment: `holo-fleet` instantiates one per room across
+//! a sharded SFU fabric (cascade links between nodes, this crate's
+//! SFU/queue/degradation machinery inside each room) and a 1-node
+//! fleet reproduces a standalone room byte for byte.
 
 pub mod capacity;
 pub mod degrade;
@@ -45,7 +53,9 @@ pub mod room;
 pub mod sfu;
 
 pub use capacity::{
-    measure_max_room_size, CapacityConfig, CapacityCriteria, CapacityMeasurement, CapacityProbe,
+    closed_form_fleet_capacity, closed_form_max_participants, compare_capacity,
+    measure_max_room_size, simulated_max_participants, CapacityComparison, CapacityConfig,
+    CapacityCriteria, CapacityMeasurement, CapacityProbe,
 };
 pub use degrade::{DegradationLadder, DegradeState, SemanticTier, TierSpec};
 pub use frame::{DependencyTracker, FrameTag, StreamFrame};

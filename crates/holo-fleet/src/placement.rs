@@ -1,0 +1,357 @@
+//! Who hosts what: placement policies and rebalancing.
+//!
+//! Placement decides two things per room: which node each participant
+//! attaches to (always a node in the participant's region — access
+//! networks terminate locally) and which node anchors the room's SFU
+//! (the **home** node; remote participants' streams transit it over
+//! the cascade). Policies are deterministic: identical inputs place
+//! identically, so fleet reports stay byte-identical.
+
+use crate::sim::RoomSpec;
+use crate::topology::FleetTopology;
+
+/// Where a room landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The node anchoring the room's SFU.
+    pub home: usize,
+    /// Node per participant (same order as the room's region list).
+    pub participant_nodes: Vec<usize>,
+}
+
+impl Placement {
+    /// Distinct nodes this room touches, ascending.
+    pub fn nodes_spanned(&self) -> Vec<usize> {
+        let mut nodes = self.participant_nodes.clone();
+        nodes.push(self.home);
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// Running load tally the policies (and rebalancing) read.
+#[derive(Debug, Clone, Default)]
+pub struct FleetLoad {
+    /// Rooms homed per node.
+    pub rooms: Vec<u64>,
+    /// Participants attached per node.
+    pub participants: Vec<u64>,
+}
+
+impl FleetLoad {
+    /// Zero load across `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self { rooms: vec![0; nodes], participants: vec![0; nodes] }
+    }
+
+    /// Account a finished placement.
+    pub fn absorb(&mut self, p: &Placement) {
+        self.rooms[p.home] += 1;
+        for &n in &p.participant_nodes {
+            self.participants[n] += 1;
+        }
+    }
+}
+
+/// A proposed home move produced by a rebalancing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Which room (index into the fleet's room list).
+    pub room: usize,
+    /// Its new home node.
+    pub to: usize,
+}
+
+/// The placement decision point. Implementations must be deterministic
+/// functions of their inputs and internal state; ties always break
+/// toward the lowest node id.
+pub trait PlacementPolicy {
+    /// Short label recorded in the fleet report.
+    fn name(&self) -> &'static str;
+
+    /// Place one room: attach each participant to a node in its region
+    /// and pick the home node.
+    fn place(&mut self, spec: &RoomSpec, topo: &FleetTopology, load: &FleetLoad) -> Placement;
+
+    /// Rebalancing hook, called once after all rooms are placed with
+    /// every placement visible. The default does nothing; policies can
+    /// return home moves (`Migration`s) the fleet applies before
+    /// simulating.
+    fn rebalance(
+        &mut self,
+        _placements: &[Placement],
+        _topo: &FleetTopology,
+        _load: &FleetLoad,
+    ) -> Vec<Migration> {
+        Vec::new()
+    }
+}
+
+/// Pick the home node for a placed participant set: the node hosting
+/// the most participants, ties to the lowest id.
+fn majority_home(participant_nodes: &[usize], nodes: usize) -> usize {
+    let mut counts = vec![0u64; nodes];
+    for &n in participant_nodes {
+        counts[n] += 1;
+    }
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Round-robin: participants cycle through their region's nodes in
+/// arrival order, globally (one counter per region).
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next_in_region: Vec<usize>,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&mut self, spec: &RoomSpec, topo: &FleetTopology, _load: &FleetLoad) -> Placement {
+        self.next_in_region.resize(topo.regions.len().max(self.next_in_region.len()), 0);
+        let participant_nodes: Vec<usize> = spec
+            .participant_regions
+            .iter()
+            .map(|&r| {
+                let candidates = topo.nodes_in_region(r);
+                let slot = self.next_in_region[r] % candidates.len();
+                self.next_in_region[r] += 1;
+                candidates[slot]
+            })
+            .collect();
+        let home = majority_home(&participant_nodes, topo.nodes.len());
+        Placement { home, participant_nodes }
+    }
+}
+
+/// Least-loaded: each participant attaches to the least-populated node
+/// in its region (by attached participants, ties to the lowest id);
+/// the home is the majority node. Its rebalancing pass levels homes:
+/// while some node homes 2+ more rooms than another, it moves one room
+/// from the most- to the least-loaded node.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn place(&mut self, spec: &RoomSpec, topo: &FleetTopology, load: &FleetLoad) -> Placement {
+        // Account in-room attachments too, so one room's participants
+        // spread instead of piling onto the globally-least node.
+        let mut pending = vec![0u64; topo.nodes.len()];
+        let participant_nodes: Vec<usize> = spec
+            .participant_regions
+            .iter()
+            .map(|&r| {
+                let candidates = topo.nodes_in_region(r);
+                let best = *candidates
+                    .iter()
+                    .min_by_key(|&&n| (load.participants[n] + pending[n], n))
+                    .expect("validated topology: every region has a node");
+                pending[best] += 1;
+                best
+            })
+            .collect();
+        let home = majority_home(&participant_nodes, topo.nodes.len());
+        Placement { home, participant_nodes }
+    }
+
+    fn rebalance(
+        &mut self,
+        placements: &[Placement],
+        _topo: &FleetTopology,
+        load: &FleetLoad,
+    ) -> Vec<Migration> {
+        let mut rooms = load.rooms.clone();
+        let mut moves = Vec::new();
+        while let Some(max_node) = rooms
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+            .map(|(i, _)| i)
+        {
+            let min_node = rooms
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &c)| (c, i))
+                .map(|(i, _)| i)
+                .unwrap_or(max_node);
+            if rooms[max_node] < rooms[min_node] + 2 {
+                break;
+            }
+            // Move the lowest-indexed room homed on the hot node whose
+            // home we have not already moved.
+            let victim = placements
+                .iter()
+                .enumerate()
+                .position(|(i, p)| {
+                    p.home == max_node && !moves.iter().any(|m: &Migration| m.room == i)
+                });
+            match victim {
+                Some(room) => {
+                    moves.push(Migration { room, to: min_node });
+                    rooms[max_node] -= 1;
+                    rooms[min_node] += 1;
+                }
+                None => break,
+            }
+        }
+        moves
+    }
+}
+
+/// Region affinity: the whole room lands on one node — the
+/// least-loaded node in the room's majority region — so rooms never
+/// span the cascade. Participants whose own region differs still
+/// attach there (they pay the access latency, not cascade transit).
+#[derive(Debug, Default)]
+pub struct RegionAffinity;
+
+impl PlacementPolicy for RegionAffinity {
+    fn name(&self) -> &'static str {
+        "region-affinity"
+    }
+
+    fn place(&mut self, spec: &RoomSpec, topo: &FleetTopology, load: &FleetLoad) -> Placement {
+        let mut counts = vec![0u64; topo.regions.len()];
+        for &r in &spec.participant_regions {
+            counts[r] += 1;
+        }
+        let mut region = 0;
+        for (r, &c) in counts.iter().enumerate() {
+            if c > counts[region] {
+                region = r;
+            }
+        }
+        let candidates = topo.nodes_in_region(region);
+        let home = *candidates
+            .iter()
+            .min_by_key(|&&n| (load.participants[n], n))
+            .expect("validated topology: every region has a node");
+        Placement {
+            home,
+            participant_nodes: vec![home; spec.participant_regions.len()],
+        }
+    }
+}
+
+/// The built-in policies, as a `Copy` selector for configs that must
+/// stay `Clone` (custom policies go through
+/// [`crate::sim::run_fleet_with_policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`RegionAffinity`].
+    RegionAffinity,
+}
+
+impl PolicyKind {
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded),
+            PolicyKind::RegionAffinity => Box::new(RegionAffinity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> FleetTopology {
+        FleetTopology::uniform(2, 2, 400e6, 1e9, 1.0, 20.0)
+    }
+
+    fn spec(regions: &[usize]) -> RoomSpec {
+        RoomSpec { participant_regions: regions.to_vec(), access_bps: 100e6 }
+    }
+
+    #[test]
+    fn round_robin_cycles_region_nodes() {
+        let topo = topo();
+        let mut rr = RoundRobin::default();
+        let load = FleetLoad::new(topo.nodes.len());
+        let a = rr.place(&spec(&[0, 0]), &topo, &load);
+        let b = rr.place(&spec(&[0, 0]), &topo, &load);
+        // Region 0 owns nodes 0 and 1: four attachments cycle 0,1,0,1.
+        assert_eq!(a.participant_nodes, vec![0, 1]);
+        assert_eq!(b.participant_nodes, vec![0, 1]);
+        assert_eq!(a.home, 0, "ties break to the lowest node id");
+    }
+
+    #[test]
+    fn least_loaded_spreads_and_rebalances() {
+        let topo = topo();
+        let mut ll = LeastLoaded;
+        let mut load = FleetLoad::new(topo.nodes.len());
+        let mut placements = Vec::new();
+        for _ in 0..4 {
+            let p = ll.place(&spec(&[0]), &topo, &load);
+            load.absorb(&p);
+            placements.push(p);
+        }
+        // Single-participant region-0 rooms alternate between nodes 0/1.
+        assert_eq!(load.participants[0], 2);
+        assert_eq!(load.participants[1], 2);
+        assert_eq!(load.rooms[0], 2);
+        assert_eq!(load.rooms[1], 2);
+        // Force imbalance, then let rebalance level it.
+        let skew = Placement { home: 0, participant_nodes: vec![0] };
+        load.absorb(&skew);
+        load.absorb(&skew);
+        placements.push(skew.clone());
+        placements.push(skew);
+        let moves = ll.rebalance(&placements, &topo, &load);
+        assert!(!moves.is_empty(), "imbalance of 4 vs 2 must trigger a move");
+        for m in &moves {
+            assert_eq!(placements[m.room].home, 0, "moves come off the hot node");
+        }
+    }
+
+    #[test]
+    fn region_affinity_never_spans() {
+        let topo = topo();
+        let mut ra = RegionAffinity;
+        let load = FleetLoad::new(topo.nodes.len());
+        // Majority region 1 (nodes 2, 3): the whole room lands there.
+        let p = ra.place(&spec(&[1, 1, 0]), &topo, &load);
+        assert_eq!(p.nodes_spanned().len(), 1);
+        assert!(topo.nodes_in_region(1).contains(&p.home));
+        assert!(p.participant_nodes.iter().all(|&n| n == p.home));
+    }
+
+    #[test]
+    fn policies_are_deterministic() {
+        let topo = topo();
+        for kind in [PolicyKind::RoundRobin, PolicyKind::LeastLoaded, PolicyKind::RegionAffinity] {
+            let run = |_| {
+                let mut policy = kind.build();
+                let mut load = FleetLoad::new(topo.nodes.len());
+                let mut out = Vec::new();
+                for i in 0..6 {
+                    let p = policy.place(&spec(&[i % 2, (i + 1) % 2]), &topo, &load);
+                    load.absorb(&p);
+                    out.push(p);
+                }
+                out
+            };
+            assert_eq!(run(0), run(1), "{kind:?} placed differently across runs");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The fleet's outcome: canonical, byte-identical JSON.
+//!
+//! A `FleetReport` is the fleet-level analogue of holo-conf's
+//! `RoomReport`: per-node utilization, per-cascade-edge occupancy,
+//! per-region latency distributions, fleet-wide Jain fairness over
+//! every subscriber in every room, and first-bottleneck attribution.
+//! Rendering uses the workspace's canonical JSON (`holo_runtime::ser`),
+//! so a seeded fleet reproduces the report byte for byte at any
+//! `SEMHOLO_THREADS` setting.
+
+use holo_runtime::ser::{JsonValue, ToJson};
+
+/// One node's utilization.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node id.
+    pub id: usize,
+    /// Region name.
+    pub region: String,
+    /// Rooms anchored here.
+    pub rooms_homed: u64,
+    /// Participants attached here.
+    pub participants: u64,
+    /// Egress actually used (access fan-out + cascade out), bps.
+    pub egress_used_bps: f64,
+    /// `egress_used_bps / egress_budget`.
+    pub egress_utilization: f64,
+    /// Fraction of a second the node's device spends forwarding each
+    /// second (roofline-priced copies; infinite on OOM).
+    pub compute_utilization: f64,
+}
+
+impl ToJson for NodeReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("id", self.id.to_json()),
+            ("region", self.region.to_json()),
+            ("rooms_homed", self.rooms_homed.to_json()),
+            ("participants", self.participants.to_json()),
+            ("egress_used_bps", self.egress_used_bps.to_json()),
+            ("egress_utilization", self.egress_utilization.to_json()),
+            ("compute_utilization", self.compute_utilization.to_json()),
+        ])
+    }
+}
+
+/// One directed cascade edge's accounting.
+#[derive(Debug, Clone)]
+pub struct CascadeEdgeReport {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// One-way propagation, ms.
+    pub latency_ms: f64,
+    /// Frame copies offered to the edge.
+    pub offered_copies: u64,
+    /// Bytes offered to the edge.
+    pub offered_bytes: u64,
+    /// Copies the link model delivered.
+    pub delivered: u64,
+    /// Copies rejected at the link queue (cascade congestion).
+    pub queue_drops: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+    /// Admitted load over the run horizon relative to `cascade_bps`.
+    pub utilization: f64,
+}
+
+impl ToJson for CascadeEdgeReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+            ("latency_ms", self.latency_ms.to_json()),
+            ("offered_copies", self.offered_copies.to_json()),
+            ("offered_bytes", self.offered_bytes.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("queue_drops", self.queue_drops.to_json()),
+            ("bytes_delivered", self.bytes_delivered.to_json()),
+            ("utilization", self.utilization.to_json()),
+        ])
+    }
+}
+
+/// End-to-end latency distribution over one region's subscribers.
+#[derive(Debug, Clone)]
+pub struct RegionLatency {
+    /// Region name.
+    pub region: String,
+    /// Usable frames observed.
+    pub count: u64,
+    /// Mean end-to-end latency, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// Worst observation, ms.
+    pub max_ms: f64,
+}
+
+impl ToJson for RegionLatency {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("region", self.region.to_json()),
+            ("count", self.count.to_json()),
+            ("mean_ms", self.mean_ms.to_json()),
+            ("p50_ms", self.p50_ms.to_json()),
+            ("p95_ms", self.p95_ms.to_json()),
+            ("max_ms", self.max_ms.to_json()),
+        ])
+    }
+}
+
+/// One room's compact row (the full `RoomReport`s ride on
+/// [`crate::sim::FleetRun`], not the serialized report).
+#[derive(Debug, Clone)]
+pub struct RoomSummary {
+    /// Room index.
+    pub room: usize,
+    /// Home node.
+    pub home: usize,
+    /// Distinct nodes the room touches.
+    pub nodes_spanned: usize,
+    /// Room size.
+    pub participants: usize,
+    /// Worst subscriber's usable-frame rate.
+    pub min_usable_rate: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_e2e_ms: f64,
+    /// Within-room Jain fairness.
+    pub jain_fairness: f64,
+}
+
+impl ToJson for RoomSummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("room", self.room.to_json()),
+            ("home", self.home.to_json()),
+            ("nodes_spanned", self.nodes_spanned.to_json()),
+            ("participants", self.participants.to_json()),
+            ("min_usable_rate", self.min_usable_rate.to_json()),
+            ("mean_e2e_ms", self.mean_e2e_ms.to_json()),
+            ("jain_fairness", self.jain_fairness.to_json()),
+        ])
+    }
+}
+
+/// The full fleet outcome.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Node count.
+    pub nodes: usize,
+    /// Region count.
+    pub regions: usize,
+    /// Rooms simulated.
+    pub rooms: usize,
+    /// Placement policy name.
+    pub policy: String,
+    /// Frames per sender stream.
+    pub frames: usize,
+    /// Scene frame rate.
+    pub fps: f64,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Subscribers across all rooms.
+    pub total_subscribers: usize,
+    /// Jain fairness over every subscriber's usable rate, fleet-wide.
+    pub fleet_jain_fairness: f64,
+    /// The worst room's worst subscriber usable rate.
+    pub min_room_usable_rate: f64,
+    /// Bytes the cascade actually offered to inter-node links.
+    pub cascade_bytes_offered: u64,
+    /// Bytes naive per-subscriber forwarding would have offered.
+    pub naive_bytes_offered: u64,
+    /// The most-utilized resource (`node-egress:3`, `node-compute:0`,
+    /// `cascade:0->1`, or `none`).
+    pub first_bottleneck: String,
+    /// That resource's utilization.
+    pub bottleneck_utilization: f64,
+    /// Per-node rows, node order.
+    pub node_reports: Vec<NodeReport>,
+    /// Per-edge rows, `(from, to)` order; only edges that carried
+    /// traffic appear.
+    pub cascade_edges: Vec<CascadeEdgeReport>,
+    /// Per-region latency rows, region order.
+    pub region_latency: Vec<RegionLatency>,
+    /// Per-room rows, room order.
+    pub room_summaries: Vec<RoomSummary>,
+}
+
+impl FleetReport {
+    /// Fraction of naive inter-node bytes the cascade saved (0 when the
+    /// fleet never spanned a link).
+    pub fn cascade_savings(&self) -> f64 {
+        if self.naive_bytes_offered == 0 {
+            return 0.0;
+        }
+        1.0 - self.cascade_bytes_offered as f64 / self.naive_bytes_offered as f64
+    }
+
+    /// Canonical JSON (deterministic field order and float formatting).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("nodes", self.nodes.to_json()),
+            ("regions", self.regions.to_json()),
+            ("rooms", self.rooms.to_json()),
+            ("policy", self.policy.to_json()),
+            ("frames", self.frames.to_json()),
+            ("fps", self.fps.to_json()),
+            ("seed", self.seed.to_json()),
+            ("total_subscribers", self.total_subscribers.to_json()),
+            ("fleet_jain_fairness", self.fleet_jain_fairness.to_json()),
+            ("min_room_usable_rate", self.min_room_usable_rate.to_json()),
+            ("cascade_bytes_offered", self.cascade_bytes_offered.to_json()),
+            ("naive_bytes_offered", self.naive_bytes_offered.to_json()),
+            ("cascade_savings", self.cascade_savings().to_json()),
+            ("first_bottleneck", self.first_bottleneck.to_json()),
+            ("bottleneck_utilization", self.bottleneck_utilization.to_json()),
+            ("node_reports", self.node_reports.to_json()),
+            ("cascade_edges", self.cascade_edges.to_json()),
+            ("region_latency", self.region_latency.to_json()),
+            ("room_summaries", self.room_summaries.to_json()),
+        ])
+    }
+
+    /// The canonical report bytes.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetReport {
+        FleetReport {
+            nodes: 1,
+            regions: 1,
+            rooms: 1,
+            policy: "least-loaded".into(),
+            frames: 4,
+            fps: 30.0,
+            seed: 7,
+            total_subscribers: 3,
+            fleet_jain_fairness: 1.0,
+            min_room_usable_rate: 1.0,
+            cascade_bytes_offered: 0,
+            naive_bytes_offered: 0,
+            first_bottleneck: "none".into(),
+            bottleneck_utilization: 0.0,
+            node_reports: vec![],
+            cascade_edges: vec![],
+            region_latency: vec![],
+            room_summaries: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_all_sections_deterministically() {
+        let r = tiny();
+        let s = r.render();
+        for key in [
+            "fleet_jain_fairness",
+            "first_bottleneck",
+            "cascade_edges",
+            "region_latency",
+            "room_summaries",
+            "cascade_savings",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        assert_eq!(s, r.render());
+        holo_runtime::ser::parse(&s).expect("report must be valid JSON");
+    }
+
+    #[test]
+    fn savings_fraction_is_guarded() {
+        let mut r = tiny();
+        assert_eq!(r.cascade_savings(), 0.0, "no spanned traffic, no claim");
+        r.cascade_bytes_offered = 600;
+        r.naive_bytes_offered = 1000;
+        assert!((r.cascade_savings() - 0.4).abs() < 1e-12);
+    }
+}

@@ -104,6 +104,37 @@ impl Device {
         }
     }
 
+    /// A datacenter-class SFU forwarding server (no display attached):
+    /// a many-core CPU node with big RAM and commodity DDR bandwidth.
+    /// SFU work is copy/checksum/queue traffic, not dense math, so the
+    /// FP32 peak is modest while the memory system and per-dispatch
+    /// overhead are server-class. Fleet node capacity models derive
+    /// from this preset instead of hardcoding a rooms-per-node number.
+    pub fn sfu_server() -> Self {
+        Self {
+            name: "SFU server (datacenter)".into(),
+            fp32_tflops: 3.0,
+            mem_bw_gbs: 205.0,
+            vram_bytes: 256 * (1u64 << 30),
+            efficiency: 0.55,
+            launch_overhead: Duration::from_micros(5),
+        }
+    }
+
+    /// How many concurrent rooms this device sustains in real time,
+    /// where `per_room` is **one room's forwarding work per second of
+    /// wall clock**. A room is sustained when the device retires its
+    /// per-second workload in at most one second, so the count is
+    /// `floor(1s / exec_time(per_room))`; a workload the device cannot
+    /// hold at all (OOM) sustains 0 rooms. Free workloads are clamped
+    /// to the launch-overhead floor, so the result is always finite.
+    pub fn sustained_rooms(&self, per_room: &Workload) -> u64 {
+        match self.exec_time(per_room) {
+            Ok(t) => (1.0 / t.as_secs_f64().max(1e-12)).floor() as u64,
+            Err(_) => 0,
+        }
+    }
+
     /// Roofline execution time, or OOM.
     pub fn exec_time(&self, w: &Workload) -> Result<Duration, ExecError> {
         if w.peak_memory > self.vram_bytes {
@@ -183,6 +214,41 @@ mod tests {
         assert_eq!(c.flops, 4e9);
         assert_eq!(c.bytes, 3e9);
         assert_eq!(c.peak_memory, 500);
+    }
+
+    #[test]
+    fn sfu_server_is_a_forwarding_box_not_a_gpu() {
+        let s = Device::sfu_server();
+        // Display-free server: far more memory than any GPU preset,
+        // modest FLOPs next to the A100.
+        assert!(s.vram_bytes > Device::a100().vram_bytes * 4);
+        assert!(s.fp32_tflops < Device::a100().fp32_tflops);
+        assert!(s.launch_overhead < Duration::from_micros(50));
+    }
+
+    #[test]
+    fn sustained_rooms_counts_per_second_workloads() {
+        let s = Device::sfu_server();
+        // A room moving 100 MB/s through the forwarder: the server must
+        // sustain many such rooms, and halving the work doubles (about)
+        // the count.
+        let room = Workload { flops: 1e9, bytes: 200e6, peak_memory: 1 << 30 };
+        let n = s.sustained_rooms(&room);
+        assert!(n > 50, "sustained {n}");
+        let half = Workload { flops: 0.5e9, bytes: 100e6, peak_memory: 1 << 30 };
+        let n2 = s.sustained_rooms(&half);
+        assert!(n2 > n && n2 < n * 3, "half-size room: {n2} vs {n}");
+    }
+
+    #[test]
+    fn sustained_rooms_zero_on_oom_and_finite_on_free_work() {
+        let s = Device::mobile_soc();
+        let oom = Workload { flops: 1.0, bytes: 1.0, peak_memory: 100 * (1u64 << 30) };
+        assert_eq!(s.sustained_rooms(&oom), 0, "OOM sustains nothing");
+        // A free workload is floored by launch overhead, never infinite.
+        let free = Workload::default();
+        let n = s.sustained_rooms(&free);
+        assert!(n > 0 && n < u64::MAX, "free workload rooms {n}");
     }
 
     #[test]

@@ -16,7 +16,8 @@ cargo test -q --offline --workspace
 
 echo "==> example smoke runs (SEMHOLO_EXAMPLE_QUICK=1)"
 for example in quickstart remote_collaboration telesurgery \
-    semantic_taxonomy_report conference_capacity chaos_recovery fuzz_sweep; do
+    semantic_taxonomy_report conference_capacity fleet_capacity \
+    chaos_recovery fuzz_sweep; do
   echo "--> example: ${example}"
   SEMHOLO_EXAMPLE_QUICK=1 \
     cargo run -q --release --offline --example "${example}" >/dev/null
@@ -57,6 +58,17 @@ SEMHOLO_EXAMPLE_QUICK=1 \
 cmp /tmp/semholo_fuzz_run1.json FUZZ_report.json
 rm -f /tmp/semholo_fuzz_run1.json
 
+echo "==> fleet smoke: capacity search, twice, byte-identical"
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example fleet_capacity >/dev/null
+mv FLEET_capacity.json /tmp/semholo_fleet_run1.json
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example fleet_capacity >/dev/null
+# Placement, probes, and every embedded room are seeded virtual time:
+# same seed, same bytes.
+cmp /tmp/semholo_fleet_run1.json FLEET_capacity.json
+rm -f /tmp/semholo_fleet_run1.json
+
 echo "==> cross-thread gate: SEMHOLO_THREADS=1 vs =8, byte-identical"
 # The fork-join pool's contract (DESIGN.md §10): thread count changes
 # wall-clock time only, never bytes. Run the chaos matrix and the fuzz
@@ -75,6 +87,15 @@ SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
   cargo run -q --release --offline --example fuzz_sweep >/dev/null
 cmp /tmp/semholo_fuzz_t1.json FUZZ_report.json
 rm -f /tmp/semholo_fuzz_t1.json
+# Fleet: rooms fan out across the pool, cascade merge is sequential —
+# the report must not know how many workers ran it.
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
+  cargo run -q --release --offline --example fleet_capacity >/dev/null
+mv FLEET_capacity.json /tmp/semholo_fleet_t1.json
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
+  cargo run -q --release --offline --example fleet_capacity >/dev/null
+cmp /tmp/semholo_fleet_t1.json FLEET_capacity.json
+rm -f /tmp/semholo_fleet_t1.json
 
 if command -v cargo-clippy >/dev/null 2>&1; then
   echo "==> cargo clippy -p holo-runtime -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
@@ -82,6 +103,7 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   cargo clippy -q --offline -p holo-trace --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-chaos --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fuzz --no-deps --all-targets -- -D warnings
+  cargo clippy -q --offline -p holo-fleet --no-deps --all-targets -- -D warnings
 else
   echo "==> clippy unavailable; skipping lint step"
 fi

@@ -11,6 +11,7 @@
 
 use holo_chaos::harness::run_scenarios;
 use holo_conf::{ParticipantConfig, Room, RoomConfig};
+use holo_fleet::{run_fleet, FleetConfig, FleetTopology, RoomSpec};
 use holo_fuzz::{run_sweep, FuzzConfig};
 use holo_runtime::par;
 use semholo::keypoint::{KeypointConfig, KeypointPipeline};
@@ -48,9 +49,30 @@ fn room_report() -> String {
     Room::new(cfg).unwrap().run(&scene(), &mut pipelines).unwrap().render()
 }
 
+fn fleet_report() -> String {
+    let cfg = FleetConfig {
+        topology: FleetTopology::uniform(2, 1, 1e9, 1e9, 1.0, 20.0),
+        rooms: vec![
+            RoomSpec::uniform(3, 0, 25e6),
+            RoomSpec { participant_regions: vec![0, 1, 1], access_bps: 25e6 },
+        ],
+        frames: 4,
+        seed: 9,
+        ..Default::default()
+    };
+    let make = |room: usize| -> Box<dyn SemanticPipeline> {
+        Box::new(KeypointPipeline::new(
+            KeypointConfig { resolution: 24, ..Default::default() },
+            room as u64,
+        ))
+    };
+    run_fleet(&cfg, &scene(), &make).unwrap().report.render()
+}
+
 /// One full artifact set at the current thread count:
-/// `(room, resilience, fuzz, chrome trace, metric snapshot)` digests.
-fn artifact_digests() -> [u64; 5] {
+/// `(room, resilience, fuzz, chrome trace, metric snapshot, fleet)`
+/// digests.
+fn artifact_digests() -> [u64; 6] {
     let room = fnv1a64(room_report().as_bytes());
     let resilience = fnv1a64(run_scenarios(42).render().as_bytes());
     // 600 mutants per target spans three fixed 250-mutant chunks, so
@@ -74,25 +96,28 @@ fn artifact_digests() -> [u64; 5] {
     let snapshot = fnv1a64(counters.as_bytes());
     holo_trace::disable();
     holo_trace::reset();
-    [room, resilience, fuzz, chrome, snapshot]
+    let fleet = fnv1a64(fleet_report().as_bytes());
+    [room, resilience, fuzz, chrome, snapshot, fleet]
 }
 
 /// Goldens for the artifact set (order: room, resilience, fuzz, chrome,
-/// snapshot). Pinned from a `SEMHOLO_THREADS=1` run; the test proves
-/// every other thread count produces the same bytes.
-const GOLDEN: [u64; 5] = [
+/// snapshot, fleet). Pinned from a `SEMHOLO_THREADS=1` run; the test
+/// proves every other thread count produces the same bytes.
+const GOLDEN: [u64; 6] = [
     0xdc36754bb8f72046,
     0xb17b12f6b905488f,
     0x04784ca02f924a59,
     0x9ab62be313fbae97,
     0xf458be6318ffbe6a,
+    0x8fe6f3f4bc3ff94e,
 ];
 
 #[test]
 fn reports_and_traces_byte_identical_at_threads_1_2_8() {
     // One test drives all thread counts: the override is process-wide,
     // so splitting this into per-count tests would race.
-    let names = ["RoomReport", "ResilienceReport", "FUZZ_report", "chrome_trace", "metrics"];
+    let names =
+        ["RoomReport", "ResilienceReport", "FUZZ_report", "chrome_trace", "metrics", "FleetReport"];
     for t in [1usize, 2, 8] {
         par::set_thread_override(Some(t));
         let digests = artifact_digests();
