@@ -162,6 +162,71 @@ impl ResilienceReport {
     pub fn render(&self) -> String {
         self.to_json().render()
     }
+
+    /// Evaluate `spec` against every matrix cell, from the aggregate
+    /// counts each outcome retains. Stream and session cells carry
+    /// frame counts; room cells only retain rates, so their summaries
+    /// pass the worst subscriber's rate through
+    /// [`holo_obs::SloSummary::usable_rate`]. Objectives the
+    /// aggregates can't answer (latency, stalls, burn) come back
+    /// *skipped* in the verdict, never silently passed.
+    pub fn slo_verdicts(&self, spec: &holo_obs::SloSpec) -> Vec<(String, holo_obs::SloVerdict)> {
+        let mut out = Vec::new();
+        for s in &self.streams {
+            let summary = holo_obs::SloSummary {
+                frames_expected: s.frames as u64,
+                frames_usable: s.usable as u64,
+                ..Default::default()
+            };
+            out.push((
+                format!("stream/{}/{}", s.plan, s.mechanism),
+                spec.evaluate_summary(&summary),
+            ));
+        }
+        for s in &self.sessions {
+            let summary = holo_obs::SloSummary {
+                frames_expected: s.frames as u64,
+                frames_usable: s.delivered as u64,
+                ..Default::default()
+            };
+            out.push((
+                format!("session/{}/{}", s.plan, s.policy),
+                spec.evaluate_summary(&summary),
+            ));
+        }
+        for r in &self.rooms {
+            let summary = holo_obs::SloSummary {
+                usable_rate: Some(r.min_usable_rate),
+                ..Default::default()
+            };
+            out.push((format!("room/{}", r.plan), spec.evaluate_summary(&summary)));
+        }
+        out
+    }
+
+    /// The machine-readable SLO document for the whole matrix (what
+    /// `examples/chaos_recovery.rs` writes as `SLO_report.json`).
+    /// Deterministic bytes per seed; [`render`](Self::render) stays
+    /// byte-for-byte unchanged by this addition.
+    pub fn slo_report(&self, spec: &holo_obs::SloSpec) -> JsonValue {
+        let cells = self.slo_verdicts(spec);
+        let pass = cells.iter().all(|(_, v)| v.pass());
+        JsonValue::obj([
+            ("seed", self.seed.to_json()),
+            ("pass", pass.to_json()),
+            (
+                "cells",
+                JsonValue::Arr(
+                    cells
+                        .iter()
+                        .map(|(name, v)| {
+                            JsonValue::obj([("cell", name.to_json()), ("verdict", v.to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +290,26 @@ mod tests {
         assert!(report.stream("burst5", "fec(4,1)+retransmit").is_some());
         assert!(report.stream("burst5", "nope").is_none());
         holo_runtime::ser::parse(&s).expect("canonical JSON parses");
+
+        // SLO verdicts cover every cell, ride on the retained
+        // aggregates, and leave the canonical report bytes alone.
+        let spec = holo_obs::SloSpec::telepresence();
+        let verdicts = report.slo_verdicts(&spec);
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(verdicts[0].0, "stream/burst5/fec(4,1)+retransmit");
+        assert_eq!(verdicts[1].0, "session/burst5/retransmit_once");
+        assert_eq!(verdicts[2].0, "room/room_collapse");
+        // Stream cell: 130/150 usable < 0.90 floor -> fails.
+        assert!(!verdicts[0].1.pass());
+        // Session cell: 10/10 delivered -> passes the floor.
+        assert!(verdicts[1].1.pass());
+        // Room cell evaluates the retained min rate, 0.8 < 0.90.
+        assert!(!verdicts[2].1.pass());
+        // Latency/stall/burn objectives are skipped, not passed.
+        assert!(!verdicts[0].1.skipped.is_empty());
+        let doc = report.slo_report(&spec).render();
+        holo_runtime::ser::parse(&doc).expect("SLO doc parses");
+        assert_eq!(doc, report.slo_report(&spec).render());
+        assert_eq!(s, report.render(), "slo_report leaves render() untouched");
     }
 }

@@ -82,7 +82,7 @@ pub fn lzma_compress(data: &[u8]) -> Vec<u8> {
     }
     let start = std::time::Instant::now();
     let out = lzma_compress_inner(data);
-    holo_trace::histogram("compress.lzma.encode_ms", start.elapsed().as_secs_f64() * 1e3);
+    holo_trace::histogram_wall("compress.lzma.encode_ms", start.elapsed().as_secs_f64() * 1e3);
     holo_trace::histogram("compress.lzma.ratio", out.len() as f64 / data.len().max(1) as f64);
     holo_trace::counter("compress.lzma.bytes_in", data.len() as u64);
     holo_trace::counter("compress.lzma.bytes_out", out.len() as u64);
@@ -194,7 +194,7 @@ pub fn lzma_decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
     }
     let start = std::time::Instant::now();
     let out = lzma_decompress_inner(input);
-    holo_trace::histogram("compress.lzma.decode_ms", start.elapsed().as_secs_f64() * 1e3);
+    holo_trace::histogram_wall("compress.lzma.decode_ms", start.elapsed().as_secs_f64() * 1e3);
     if let Ok(bytes) = &out {
         holo_trace::counter("compress.lzma.bytes_decoded", bytes.len() as u64);
     }

@@ -104,7 +104,7 @@ pub fn encode_mesh_with_permutation(mesh: &TriMesh, cfg: &MeshCodecConfig) -> (V
     }
     let start = std::time::Instant::now();
     let out = encode_mesh_inner(mesh, cfg);
-    holo_trace::histogram("compress.mesh.encode_ms", start.elapsed().as_secs_f64() * 1e3);
+    holo_trace::histogram_wall("compress.mesh.encode_ms", start.elapsed().as_secs_f64() * 1e3);
     // Raw baseline: 12 bytes/vertex position + 12 bytes/face of indices.
     let raw = mesh.vertices.len() * 12 + mesh.faces.len() * 12;
     holo_trace::histogram("compress.mesh.ratio", out.0.len() as f64 / raw.max(1) as f64);
@@ -240,7 +240,7 @@ pub fn decode_mesh(data: &[u8]) -> Result<TriMesh, DecodeError> {
     }
     let start = std::time::Instant::now();
     let out = decode_mesh_inner(data);
-    holo_trace::histogram("compress.mesh.decode_ms", start.elapsed().as_secs_f64() * 1e3);
+    holo_trace::histogram_wall("compress.mesh.decode_ms", start.elapsed().as_secs_f64() * 1e3);
     out
 }
 

@@ -167,6 +167,63 @@ impl RoomReport {
     pub fn render(&self) -> String {
         self.to_json().render()
     }
+
+    /// One [`holo_obs::SloSummary`] per subscriber, from the aggregate
+    /// fields this report already carries. Stall and burn-rate inputs
+    /// are per-frame quantities the aggregate doesn't retain, so those
+    /// objectives come back *skipped* (visible in the verdict), never
+    /// silently passed. The `full`/`degraded` tier split feeds
+    /// per-tier floors.
+    pub fn slo_summaries(&self) -> Vec<holo_obs::SloSummary> {
+        self.subscribers
+            .iter()
+            .map(|s| holo_obs::SloSummary {
+                frames_expected: s.expected as u64,
+                frames_usable: s.usable as u64,
+                usable_rate: None,
+                p99_e2e_ms: s.e2e_ms.percentile(99.0),
+                max_stall_ms: None,
+                worst_window_burn: None,
+                tier_fractions: if s.usable > 0 {
+                    vec![
+                        (
+                            "full".to_string(),
+                            (s.usable - s.degraded) as f64 / s.usable as f64,
+                        ),
+                        ("degraded".to_string(), s.degraded as f64 / s.usable as f64),
+                    ]
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect()
+    }
+
+    /// Evaluate `spec` for every subscriber, in participant order.
+    pub fn slo_verdicts(&self, spec: &holo_obs::SloSpec) -> Vec<holo_obs::SloVerdict> {
+        self.slo_summaries().iter().map(|s| spec.evaluate_summary(s)).collect()
+    }
+
+    /// The room-level verdict: the room passes when every subscriber
+    /// passes (an SLO is a floor, not an average — one starved
+    /// subscriber fails the room).
+    pub fn slo_room(&self, spec: &holo_obs::SloSpec) -> holo_obs::SloVerdict {
+        let per_sub = self.slo_summaries();
+        let combined = holo_obs::SloSummary {
+            frames_expected: per_sub.iter().map(|s| s.frames_expected).sum(),
+            frames_usable: per_sub.iter().map(|s| s.frames_usable).sum(),
+            usable_rate: None,
+            // Worst subscriber's p99: conservative, floor-shaped.
+            p99_e2e_ms: per_sub
+                .iter()
+                .filter_map(|s| s.p99_e2e_ms)
+                .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.max(p)))),
+            max_stall_ms: None,
+            worst_window_burn: None,
+            tier_fractions: Vec::new(),
+        };
+        spec.evaluate_summary(&combined)
+    }
 }
 
 #[cfg(test)]

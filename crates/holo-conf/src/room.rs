@@ -67,6 +67,15 @@ pub struct RoomConfig {
     /// frames (they capture the same scene), so cost scales with frames
     /// rather than frames x N. Per-sender uplinks still run separately.
     pub share_encoder: bool,
+    /// Trace-lane offset: participant `i` records spans on lane
+    /// `lane_base + i`. Fleets give each embedded room a distinct base
+    /// so lanes never collide in a merged recorder.
+    pub lane_base: u32,
+    /// Trace path-id tag OR'd into every span's frame id (the id is
+    /// `trace_tag | sender << 32 | frame index`). Fleets tag each room
+    /// (`room_idx << 48`) so attribution can walk one merged span
+    /// stream.
+    pub trace_tag: u64,
 }
 
 impl Default for RoomConfig {
@@ -86,6 +95,8 @@ impl Default for RoomConfig {
             latency_budget_ms: 100.0,
             seed: 1,
             share_encoder: false,
+            lane_base: 0,
+            trace_tag: 0,
         }
     }
 }
@@ -215,6 +226,12 @@ impl Room {
         let mut uplink_corrupt = 0u64;
 
         let tracing = holo_trace::enabled();
+        // Span path ids join a frame's sender-side and subscriber-side
+        // spans across lanes (and across rooms, via the fleet's tag):
+        // `trace_tag | sender << 32 | frame index`.
+        let path_id = |sender: usize, index: usize| {
+            cfg.trace_tag | ((sender as u64) << 32) | index as u64
+        };
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, at, kind| {
@@ -253,10 +270,10 @@ impl Room {
                         .send_frame_sized(m.payload_bytes + WIRE_HEADER_BYTES, send_at);
                     meta[sender][index] = Some(m);
                     if tracing {
-                        holo_trace::set_lane(sender as u32);
-                        holo_trace::span_enter_frame("room.extract", event.at.0, index as u64);
+                        holo_trace::set_lane(cfg.lane_base + sender as u32);
+                        holo_trace::span_enter_frame("room.extract", event.at.0, path_id(sender, index));
                         holo_trace::span_exit(send_at.0);
-                        holo_trace::span_enter_frame("room.uplink", send_at.0, index as u64);
+                        holo_trace::span_enter_frame("room.uplink", send_at.0, path_id(sender, index));
                         match result.completed_at {
                             Some(t) if result.complete => holo_trace::span_exit(t.0),
                             // Lost uplinks close at the send instant: the
@@ -308,11 +325,11 @@ impl Room {
                             arrivals[rec.subscriber][sender][index] =
                                 Some((t, rec.self_contained));
                             if tracing {
-                                holo_trace::set_lane(rec.subscriber as u32);
+                                holo_trace::set_lane(cfg.lane_base + rec.subscriber as u32);
                                 holo_trace::span_enter_frame(
                                     "room.forward",
                                     event.at.0,
-                                    index as u64,
+                                    path_id(sender, index),
                                 );
                                 holo_trace::span_exit(t.0);
                             }
@@ -377,11 +394,25 @@ impl Room {
                         degraded += 1;
                     }
                     let m = meta[u][index].as_ref().expect("delivered implies encoded");
-                    let recon_ms = m.recon.time_on(device)?.as_secs_f64() * 1000.0;
+                    let recon_t = m.recon.time_on(device)?;
+                    let recon_ms = recon_t.as_secs_f64() * 1000.0;
                     let latency_ms =
                         arrival.saturating_since(m.capture).as_secs_f64() * 1000.0
                             + recon_ms
                             + render_ms;
+                    if tracing {
+                        // Close the frame's span chain on the
+                        // subscriber lane so attribution can tile
+                        // capture -> photon exactly (integer µs).
+                        let recon_end = arrival.0 + recon_t.as_micros() as u64;
+                        let render_end =
+                            recon_end + cfg.render_overhead.as_micros() as u64;
+                        holo_trace::set_lane(cfg.lane_base + s as u32);
+                        holo_trace::span_enter_frame("room.decode", arrival.0, path_id(u, index));
+                        holo_trace::span_exit(recon_end);
+                        holo_trace::span_enter_frame("room.render", recon_end, path_id(u, index));
+                        holo_trace::span_exit(render_end);
+                    }
                     e2e.record(latency_ms);
                     if latency_ms <= cfg.latency_budget_ms {
                         within += 1;

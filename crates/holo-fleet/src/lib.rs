@@ -40,7 +40,7 @@ pub use placement::{
 };
 pub use report::{CascadeEdgeReport, FleetReport, NodeReport, RegionLatency, RoomSummary};
 pub use sim::{
-    forward_copy_workload, room_seed, run_fleet, run_fleet_with_policy, FleetConfig, FleetRun,
-    RoomSpec,
+    attribution_options, forward_copy_workload, room_seed, run_fleet, run_fleet_observed,
+    run_fleet_with_policy, FleetConfig, FleetObservation, FleetRun, RoomSpec, LANE_STRIDE,
 };
 pub use topology::{FleetTopology, NodeSpec};

@@ -37,6 +37,7 @@ use holo_gpu::Workload;
 use holo_math::Summary;
 use holo_net::link::Delivery;
 use holo_net::time::SimTime;
+use holo_runtime::ser::{JsonValue, ToJson};
 use holo_net::wire::WIRE_HEADER_BYTES;
 use semholo::error::{Result, SemHoloError};
 use semholo::scene::SceneSource;
@@ -144,6 +145,11 @@ pub struct FleetRun {
     pub rooms: Vec<RoomReport>,
 }
 
+/// Per-room lane namespace stride: room `i`'s participant `p` records
+/// spans on lane `i * LANE_STRIDE + p`, so merged fleet traces keep
+/// rooms apart (good for up to 4096 participants per room).
+pub const LANE_STRIDE: u32 = 1 << 12;
+
 /// Build room `room_idx`'s embedded config: a plain symmetric room plus
 /// cascade propagation folded into the access links of participants
 /// attached away from the home node. A room that spans nothing gets
@@ -175,6 +181,10 @@ fn embedded_room_config(
         latency_budget_ms: cfg.latency_budget_ms,
         seed: room_seed(cfg.seed, room_idx),
         share_encoder: true,
+        // Namespace this room's spans so a merged fleet trace never
+        // collides across rooms: lanes by stride, path ids by tag.
+        lane_base: room_idx as u32 * LANE_STRIDE,
+        trace_tag: (room_idx as u64) << 48,
         ..RoomConfig::default()
     }
 }
@@ -480,6 +490,145 @@ pub fn run_fleet_with_policy(
     })
 }
 
+/// A fleet run plus the observability artifacts derived from its
+/// merged trace: exact stage-budget attribution and SLO verdicts.
+pub struct FleetObservation {
+    /// The underlying run ([`FleetReport`] bytes are identical to an
+    /// untraced run with the same config).
+    pub run: FleetRun,
+    /// Critical-path attribution over every delivered frame copy, with
+    /// cascade hops carved out of remote lanes' uplink/forward time.
+    pub attribution: holo_obs::AttributionReport,
+    /// One verdict per node (node-id order) over the subscribers
+    /// attached to that node.
+    pub node_verdicts: Vec<(usize, holo_obs::SloVerdict)>,
+    /// The fleet-level verdict over all subscribers.
+    pub fleet_verdict: holo_obs::SloVerdict,
+}
+
+impl FleetObservation {
+    /// True when the fleet and every node hold the SLO.
+    pub fn pass(&self) -> bool {
+        self.fleet_verdict.pass() && self.node_verdicts.iter().all(|(_, v)| v.pass())
+    }
+
+    /// The machine-readable SLO + attribution document (what
+    /// `examples/fleet_capacity.rs` writes as `SLO_fleet.json`).
+    /// Canonical field order; byte-identical per seed and thread count.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("seed", self.run.report.seed.to_json()),
+            ("policy", self.run.report.policy.to_json()),
+            ("pass", JsonValue::Bool(self.pass())),
+            ("fleet", self.fleet_verdict.to_json()),
+            (
+                "nodes",
+                JsonValue::Arr(
+                    self.node_verdicts
+                        .iter()
+                        .map(|(node, v)| {
+                            JsonValue::obj([("node", node.to_json()), ("verdict", v.to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("attribution", self.attribution.to_json()),
+        ])
+    }
+}
+
+/// Build the [`holo_obs::AttributionOptions`] for a placed fleet: the
+/// cascade hop µs to carve per remote lane (uplink keyed by sender
+/// lane, downlink by subscriber lane — both halves of the same
+/// participant's remoteness) and the lane → node map.
+pub fn attribution_options(
+    cfg: &FleetConfig,
+    placements: &[Placement],
+) -> holo_obs::AttributionOptions {
+    let mut opts = holo_obs::AttributionOptions::default();
+    for (room_idx, placement) in placements.iter().enumerate() {
+        let base = room_idx as u32 * LANE_STRIDE;
+        for (p, &node) in placement.participant_nodes.iter().enumerate() {
+            let lane = base + p as u32;
+            opts.node_of_lane.insert(lane, node as u32);
+            if node != placement.home {
+                let up = cfg.topology.latency_ms(node, placement.home) / 1e3;
+                let down = cfg.topology.latency_ms(placement.home, node) / 1e3;
+                opts.cascade_up_us.insert(lane, Duration::from_secs_f64(up).as_micros() as u64);
+                opts.cascade_down_us
+                    .insert(lane, Duration::from_secs_f64(down).as_micros() as u64);
+            }
+        }
+    }
+    opts
+}
+
+/// Run the fleet with tracing force-enabled and derive the
+/// observability artifacts from the merged spans: attribution (with
+/// cascade hops split out) plus per-node and fleet SLO verdicts. The
+/// recorder is reset at entry and the previous enable state restored
+/// at exit; the embedded [`FleetReport`] is byte-identical to an
+/// untraced [`run_fleet`] of the same config.
+pub fn run_fleet_observed(
+    cfg: &FleetConfig,
+    scene: &SceneSource,
+    make_pipeline: &(dyn Fn(usize) -> Box<dyn SemanticPipeline> + Sync),
+    spec: &holo_obs::SloSpec,
+) -> Result<FleetObservation> {
+    let was_enabled = holo_trace::enabled();
+    holo_trace::enable();
+    holo_trace::reset();
+    let outcome = run_fleet(cfg, scene, make_pipeline);
+    let run = match outcome {
+        Ok(run) => run,
+        Err(e) => {
+            if !was_enabled {
+                holo_trace::disable();
+            }
+            return Err(e);
+        }
+    };
+    let opts = attribution_options(cfg, &run.placements);
+    let mut attr = holo_obs::Attribution::with_nodes(opts.node_of_lane.clone());
+    let ingest = holo_trace::with_recorder(|r| {
+        attr.spans_dropped = r.spans_dropped;
+        attr.ingest_spans(&r.spans, &opts)
+    });
+    if !was_enabled {
+        holo_trace::disable();
+    }
+    ingest.map_err(SemHoloError::Config)?;
+    let attribution = attr.finish();
+
+    // Per-node SLO inputs: subscribers grouped by the node they are
+    // attached to; a node's p99 is its worst subscriber's p99 (floors,
+    // not averages).
+    let mut per_node: BTreeMap<usize, holo_obs::SloSummary> = BTreeMap::new();
+    for (room_idx, report) in run.rooms.iter().enumerate() {
+        for sub in &report.subscribers {
+            let node = run.placements[room_idx].participant_nodes[sub.id];
+            let s = per_node.entry(node).or_default();
+            s.frames_expected += sub.expected as u64;
+            s.frames_usable += sub.usable as u64;
+            if let Some(p) = sub.e2e_ms.percentile(99.0) {
+                s.p99_e2e_ms = Some(s.p99_e2e_ms.map_or(p, |a| a.max(p)));
+            }
+        }
+    }
+    let mut fleet_summary = holo_obs::SloSummary::default();
+    let mut node_verdicts = Vec::with_capacity(per_node.len());
+    for (node, s) in per_node {
+        fleet_summary.frames_expected += s.frames_expected;
+        fleet_summary.frames_usable += s.frames_usable;
+        if let Some(p) = s.p99_e2e_ms {
+            fleet_summary.p99_e2e_ms = Some(fleet_summary.p99_e2e_ms.map_or(p, |a| a.max(p)));
+        }
+        node_verdicts.push((node, spec.evaluate_summary(&s)));
+    }
+    let fleet_verdict = spec.evaluate_summary(&fleet_summary);
+    Ok(FleetObservation { run, attribution, node_verdicts, fleet_verdict })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +738,38 @@ mod tests {
         let a = run_fleet(&cfg, &scene(), &make_pipeline).unwrap();
         let b = run_fleet(&cfg, &scene(), &make_pipeline).unwrap();
         assert_eq!(a.report.render(), b.report.render());
+    }
+
+    #[test]
+    fn observed_fleet_tiles_exactly_and_carves_the_cascade() {
+        let topo = FleetTopology::uniform(2, 1, 1e9, 1e9, 1.0, 40.0);
+        let cfg = FleetConfig {
+            topology: topo,
+            rooms: vec![RoomSpec { participant_regions: vec![0, 0, 1], access_bps: 25e6 }],
+            policy: PolicyKind::RoundRobin,
+            frames: 4,
+            ..Default::default()
+        };
+        let spec = holo_obs::SloSpec::telepresence();
+        let obs = run_fleet_observed(&cfg, &scene(), &make_pipeline, &spec).unwrap();
+        assert!(obs.attribution.frames > 0, "delivered paths must be attributed");
+        assert!(obs.attribution.tiles_exactly(), "stage budgets must tile e2e exactly");
+        assert_eq!(obs.attribution.spans_dropped, 0);
+        // The remote participant pays a 40 ms hop each way; that time
+        // must land in the CascadeHop stage, not hide in the links.
+        let hop = obs.attribution.stage(holo_obs::Stage::CascadeHop);
+        assert!(hop.total_us > 0, "cascade hop must be carved out: {hop:?}");
+        // Tracing must not perturb the simulation: report bytes match
+        // an untraced run of the same config.
+        let plain = run_fleet(&cfg, &scene(), &make_pipeline).unwrap();
+        assert_eq!(obs.run.report.render(), plain.report.render());
+        // Both nodes host subscribers, so both get verdicts, and the
+        // document bytes are stable.
+        assert_eq!(obs.node_verdicts.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![0, 1]);
+        let doc = obs.to_json().render();
+        holo_runtime::ser::parse(&doc).expect("SLO_fleet doc parses");
+        let again = run_fleet_observed(&cfg, &scene(), &make_pipeline, &spec).unwrap();
+        assert_eq!(doc, again.to_json().render());
     }
 
     #[test]

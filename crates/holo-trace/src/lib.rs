@@ -189,10 +189,34 @@ pub fn histogram(name: &str, value: f64) {
     RECORDER.with(|r| r.borrow_mut().metrics.histogram(name, value));
 }
 
+/// Record a **wall-clock** value into a fixed-bucket histogram. The
+/// histogram is tagged `nondeterministic: true` in the snapshot, which
+/// is how the SLO engine and the bench regression gate know to skip the
+/// family — by flag, not by a hard-coded name list. Use this (and only
+/// this) for real-time measurements; everything else stays virtual.
+#[inline]
+pub fn histogram_wall(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().metrics.histogram_wall(name, value));
+}
+
 /// Canonical-JSON metric snapshot of this thread's recorder (sorted
-/// keys; see [`Metrics::to_json`]).
+/// keys; see [`Metrics::to_json`]), plus the recorder's exact
+/// `spans_dropped` count so span-cap truncation is visible downstream.
 pub fn snapshot_json() -> holo_runtime::ser::JsonValue {
-    RECORDER.with(|r| r.borrow().metrics.to_json())
+    use holo_runtime::ser::{JsonValue, ToJson};
+    RECORDER.with(|r| {
+        let r = r.borrow();
+        let mut doc = r.metrics.to_json();
+        if let JsonValue::Obj(pairs) = &mut doc {
+            // Keys stay sorted: bucket_bounds, counters, gauges,
+            // histograms, spans_dropped.
+            pairs.push(("spans_dropped".to_string(), r.spans_dropped.to_json()));
+        }
+        doc
+    })
 }
 
 /// Render this thread's completed spans as chrome://tracing trace-event
@@ -201,9 +225,14 @@ pub fn chrome_trace() -> String {
     RECORDER.with(|r| chrome::chrome_trace_json(&r.borrow().spans))
 }
 
-/// Summarize this thread's completed spans into a per-stage table.
+/// Summarize this thread's completed spans into a per-stage table
+/// (carrying the recorder's `spans_dropped` count, so a capped run
+/// warns in the rendered table instead of looking merely short).
 pub fn trace_report() -> TraceReport {
-    RECORDER.with(|r| TraceReport::from_spans(&r.borrow().spans))
+    RECORDER.with(|r| {
+        let r = r.borrow();
+        TraceReport::from_spans(&r.spans).with_spans_dropped(r.spans_dropped)
+    })
 }
 
 #[cfg(test)]

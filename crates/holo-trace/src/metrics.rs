@@ -108,6 +108,11 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// True when any observation came from the wall clock (see
+    /// [`Metrics::histogram_wall`]). Marked in the snapshot so
+    /// downstream consumers — the SLO engine, the bench regression
+    /// gate — can skip the family by flag instead of by name list.
+    pub nondeterministic: bool,
 }
 
 impl Default for Histogram {
@@ -119,6 +124,7 @@ impl Default for Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            nondeterministic: false,
         }
     }
 }
@@ -171,6 +177,7 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.nondeterministic |= other.nondeterministic;
     }
 
     /// Approximate quantile `q` in `[0, 1]` from the bucket counts:
@@ -199,14 +206,22 @@ impl ToJson for Histogram {
             .into_iter()
             .map(|(b, c)| JsonValue::Arr(vec![b.to_json(), c.to_json()]))
             .collect();
-        JsonValue::obj([
+        let mut doc = JsonValue::obj([
             ("count", self.count.to_json()),
             ("sum", self.sum.to_json()),
             ("min", if self.count == 0 { JsonValue::Null } else { self.min.to_json() }),
             ("max", if self.count == 0 { JsonValue::Null } else { self.max.to_json() }),
             ("buckets", JsonValue::Arr(buckets)),
             ("overflow", self.overflow.to_json()),
-        ])
+        ]);
+        // Wall-clock families carry an explicit marker; deterministic
+        // histograms keep their exact prior shape (byte-identity).
+        if self.nondeterministic {
+            if let JsonValue::Obj(pairs) = &mut doc {
+                pairs.push(("nondeterministic".to_string(), JsonValue::Bool(true)));
+            }
+        }
+        doc
     }
 }
 
@@ -256,6 +271,15 @@ impl Metrics {
         }
     }
 
+    /// Record a wall-clock histogram observation: same ladder, but the
+    /// histogram is permanently tagged `nondeterministic` so snapshot
+    /// consumers can exclude it from byte-identity and gating by flag.
+    pub fn histogram_wall(&mut self, name: &str, value: f64) {
+        let h = self.histograms.entry(name.to_string()).or_default();
+        h.nondeterministic = true;
+        h.record(value);
+    }
+
     /// A counter's current value (0 when absent).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -284,9 +308,16 @@ impl Metrics {
     }
 
     /// Canonical JSON snapshot: `BTreeMap` iteration gives sorted keys,
-    /// so equal metric states render byte-identically.
+    /// so equal metric states render byte-identically. The shared
+    /// bucket ladder is emitted once up front (`bucket_bounds`), so a
+    /// downstream tool can reconstruct percentiles from any histogram's
+    /// `buckets` pairs without compiled-in knowledge of the ladder.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj([
+            (
+                "bucket_bounds",
+                JsonValue::Arr(BUCKET_BOUNDS.iter().map(|b| b.to_json()).collect()),
+            ),
             (
                 "counters",
                 JsonValue::Obj(
@@ -394,6 +425,37 @@ mod tests {
         let mut empty = Metrics::default();
         empty.merge(&m);
         assert_eq!(before, empty.to_json().render());
+    }
+
+    #[test]
+    fn wall_clock_histograms_carry_the_marker() {
+        let mut m = Metrics::default();
+        m.histogram("det_ms", 1.0);
+        m.histogram_wall("wall_ms", 1.0);
+        assert!(!m.histograms["det_ms"].nondeterministic);
+        assert!(m.histograms["wall_ms"].nondeterministic);
+        let text = m.to_json().render();
+        assert!(text.contains("\"wall_ms\":{") && text.contains("\"nondeterministic\":true"));
+        assert!(!text.contains("\"det_ms\":{\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":[[1,1]],\"overflow\":0,\"nondeterministic\""));
+        // The marker survives a fork-join merge in either direction.
+        let mut other = Metrics::default();
+        other.histogram("wall_ms", 2.0);
+        other.merge(&m);
+        assert!(other.histograms["wall_ms"].nondeterministic);
+    }
+
+    #[test]
+    fn snapshot_exports_the_bucket_ladder() {
+        let mut m = Metrics::default();
+        m.histogram("h", 0.02);
+        let doc = m.to_json();
+        let bounds = doc.get("bucket_bounds").unwrap().as_array().unwrap();
+        assert_eq!(bounds.len(), BUCKET_BOUNDS.len());
+        assert_eq!(bounds[0].as_f64(), Some(1e-6));
+        assert_eq!(bounds[BUCKET_BOUNDS.len() - 1].as_f64(), Some(1e6));
+        // bucket_bounds sorts ahead of counters/gauges/histograms.
+        let text = doc.render();
+        assert!(text.starts_with("{\"bucket_bounds\":["), "{text}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ struct TracePayload {
     spans: Vec<SpanEvent>,
     metrics: Metrics,
     truncated: bool,
+    spans_dropped: u64,
 }
 
 /// Parent-side scope state: where this scope's spans start.
@@ -59,6 +60,7 @@ fn collect() -> ScopePayload {
             spans: Vec::new(),
             metrics: Metrics::default(),
             truncated: false,
+            spans_dropped: 0,
         });
     }
     crate::with_recorder(|r| {
@@ -66,6 +68,7 @@ fn collect() -> ScopePayload {
             spans: std::mem::take(&mut r.spans),
             metrics: std::mem::take(&mut r.metrics),
             truncated: r.truncated,
+            spans_dropped: std::mem::take(&mut r.spans_dropped),
         }) as ScopePayload
     })
 }
@@ -79,10 +82,12 @@ fn end(token: ScopeToken, payloads: Vec<ScopePayload>) {
         for payload in payloads {
             let p = payload.downcast::<TracePayload>().expect("foreign scope payload");
             r.truncated |= p.truncated;
+            r.spans_dropped += p.spans_dropped;
             for span in p.spans {
                 if r.spans.len() >= MAX_SPANS {
                     r.truncated = true;
-                    break;
+                    r.spans_dropped += 1;
+                    continue;
                 }
                 r.spans.push(span);
             }

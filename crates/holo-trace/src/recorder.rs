@@ -58,6 +58,10 @@ pub struct Recorder {
     pub lane: u32,
     /// Set when the span cap was hit and spans were discarded.
     pub truncated: bool,
+    /// Exact number of completed spans discarded at the cap. Surfaced
+    /// in [`crate::snapshot_json`] and [`crate::TraceReport`] so a
+    /// capped run is visibly incomplete instead of silently short.
+    pub spans_dropped: u64,
     open: Vec<OpenSpan>,
 }
 
@@ -74,6 +78,7 @@ impl Recorder {
         self.metrics = Metrics::default();
         self.lane = 0;
         self.truncated = false;
+        self.spans_dropped = 0;
     }
 
     /// Open a span; the lane is captured at entry.
@@ -91,6 +96,7 @@ impl Recorder {
         };
         if self.spans.len() >= MAX_SPANS {
             self.truncated = true;
+            self.spans_dropped += 1;
             return;
         }
         self.spans.push(SpanEvent {
@@ -142,6 +148,25 @@ mod tests {
         assert_eq!(r.spans[0].start_us, 100);
         assert_eq!(r.spans[0].end_us, 100);
         assert_eq!(r.spans[0].duration_ms(), 0.0);
+    }
+
+    #[test]
+    fn cap_counts_every_dropped_span() {
+        let mut r = Recorder::new();
+        r.spans = vec![
+            SpanEvent { name: "pad", start_us: 0, end_us: 0, depth: 0, lane: 0, frame: None };
+            MAX_SPANS
+        ];
+        for i in 0..3u64 {
+            r.span_enter("late", i, None);
+            r.span_exit(i + 1);
+        }
+        assert!(r.truncated);
+        assert_eq!(r.spans_dropped, 3);
+        assert_eq!(r.spans.len(), MAX_SPANS);
+        r.reset();
+        assert_eq!(r.spans_dropped, 0);
+        assert!(!r.truncated);
     }
 
     #[test]

@@ -43,6 +43,9 @@ impl ToJson for StageStat {
 pub struct TraceReport {
     /// Stages in order of first appearance in the span stream.
     pub stages: Vec<StageStat>,
+    /// Spans discarded at the recorder cap; nonzero means every row
+    /// above undercounts and the table says so.
+    pub spans_dropped: u64,
 }
 
 impl TraceReport {
@@ -67,7 +70,13 @@ impl TraceReport {
             stat.total_ms += d;
             stat.ms.record(d);
         }
-        Self { stages }
+        Self { stages, spans_dropped: 0 }
+    }
+
+    /// Attach the recorder's drop count (see [`crate::trace_report`]).
+    pub fn with_spans_dropped(mut self, spans_dropped: u64) -> Self {
+        self.spans_dropped = spans_dropped;
+        self
     }
 
     /// Look up a stage by name.
@@ -97,12 +106,22 @@ impl TraceReport {
                 s.ms.max(),
             );
         }
+        if self.spans_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} span(s) dropped at the recorder cap — rows above undercount",
+                self.spans_dropped
+            );
+        }
         out
     }
 
     /// JSON form (stage array, insertion order).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([("stages", self.stages.to_json())])
+        JsonValue::obj([
+            ("stages", self.stages.to_json()),
+            ("spans_dropped", self.spans_dropped.to_json()),
+        ])
     }
 }
 

@@ -6,7 +6,9 @@
 //! both. Then runs the full chaos matrix (streams × plans ×
 //! mechanisms, sessions, rooms with the semantic degradation ladder)
 //! and writes the canonical `RESILIENCE_chaos.json` report, which is
-//! byte-identical for a given seed.
+//! byte-identical for a given seed. Every matrix cell is then judged
+//! against the telepresence SLO (`holo-obs`) and the verdicts land in
+//! `SLO_report.json`, equally byte-identical.
 //!
 //! Run with: `cargo run --release --example chaos_recovery`
 
@@ -85,4 +87,17 @@ fn main() {
         path.display()
     );
     println!("same seed, same bytes: re-running this example reproduces the file exactly.");
+
+    // 3. Judge every matrix cell against the telepresence SLO and
+    // write the machine-readable verdict document. Objectives the
+    // aggregates can't answer come back skipped, never silently
+    // passed; the bytes are canonical (same seed, same file).
+    let spec = holo_obs::SloSpec::telepresence();
+    println!("\nSLO verdicts ({}):", spec.name);
+    for (cell, verdict) in report.slo_verdicts(&spec) {
+        println!("  {cell:<42} {}", verdict.line());
+    }
+    let slo = report.slo_report(&spec).render();
+    std::fs::write("SLO_report.json", &slo).expect("write SLO_report.json");
+    println!("wrote SLO_report.json ({} bytes, canonical)", slo.len());
 }

@@ -5,7 +5,10 @@
 //! counts, prints the rooms/subscribers curve with first-bottleneck
 //! attribution, then writes the definitive measurement for the largest
 //! fleet to `FLEET_capacity.json` — canonical bytes, byte-identical
-//! across reruns and `SEMHOLO_THREADS` settings.
+//! across reruns and `SEMHOLO_THREADS` settings. A representative
+//! spanning fleet is then traced, its latency attributed stage by
+//! stage (`holo-obs`), and the SLO verdicts written to
+//! `SLO_fleet.json` with the same byte-identity guarantee.
 //!
 //! Run with: `cargo run --release --example fleet_capacity`
 //! (`SEMHOLO_EXAMPLE_QUICK=1` shrinks frames and the search ceiling.)
@@ -106,4 +109,33 @@ fn main() {
     let artifact = m.to_json().render();
     std::fs::write("FLEET_capacity.json", &artifact).expect("write FLEET_capacity.json");
     println!("\nwrote FLEET_capacity.json ({} bytes, canonical)", artifact.len());
+
+    // Judge a representative spanning fleet against the telepresence
+    // SLO and attribute every delivered frame's latency to stages —
+    // the cascade hop is carved out explicitly, so "how much of p99 is
+    // the inter-node mesh" is a number, not a guess.
+    let spec = holo_obs::SloSpec::telepresence();
+    let obs_cfg = holo_fleet::FleetConfig {
+        topology: FleetTopology::uniform(2, 1, egress_bps, cascade_bps, 1.0, 20.0),
+        rooms: vec![
+            holo_fleet::RoomSpec { participant_regions: vec![0, 0, 1, 1], access_bps: 100e6 },
+            holo_fleet::RoomSpec::uniform(3, 0, 100e6),
+        ],
+        policy: PolicyKind::LeastLoaded,
+        frames,
+        seed: 42,
+        ..Default::default()
+    };
+    let obs = holo_fleet::run_fleet_observed(&obs_cfg, &scene, &make_pipeline, &spec)
+        .expect("observed fleet");
+    println!("\nlatency attribution (2-node spanning fleet, {} frame paths):", obs.attribution.frames);
+    print!("{}", obs.attribution.table());
+    println!("SLO verdicts ({}):", spec.name);
+    println!("  fleet   {}", obs.fleet_verdict.line());
+    for (node, v) in &obs.node_verdicts {
+        println!("  node {node}  {}", v.line());
+    }
+    let doc = obs.to_json().render();
+    std::fs::write("SLO_fleet.json", &doc).expect("write SLO_fleet.json");
+    println!("wrote SLO_fleet.json ({} bytes, canonical)", doc.len());
 }

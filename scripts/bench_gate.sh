@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Perf regression gate: compare fresh BENCH_*.json artifacts against
+# the committed baselines in baselines/bench/ with per-metric
+# tolerances (see crates/holo-obs/src/gate.rs for the policy: a metric
+# regresses when median_ns exceeds tolerance x baseline AND the
+# absolute delta clears a noise floor; bench rows that exist on only
+# one side — machine-dependent names like detected_cores=N — warn, not
+# fail). Writes the machine-readable delta report to
+# BENCH_gate_report.json.
+#
+# Usage:
+#   scripts/bench_gate.sh [CURRENT_DIR]   # default: repo root (fresh artifacts)
+#   scripts/bench_gate.sh --self-test     # prove the gate catches a 2x slowdown
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=baselines/bench
+echo "==> building bench_gate"
+cargo build -q --release --offline -p holo-obs --bin bench_gate
+GATE=target/release/bench_gate
+
+if [ "${1:-}" = "--self-test" ]; then
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  mkdir -p "$tmp/clean" "$tmp/slow"
+  cp "$BASELINE"/BENCH_*.json "$tmp/clean/"
+  cp "$BASELINE"/BENCH_*.json "$tmp/slow/"
+  echo "==> self-test 1/2: identical copies must pass"
+  "$GATE" compare "$BASELINE" "$tmp/clean" --report "$tmp/clean_report.json"
+  echo "==> self-test 2/2: injected 2x slowdown must fail"
+  "$GATE" scale "$tmp/slow/BENCH_fig2_quality.json" 2.0 "$tmp/slow/BENCH_fig2_quality.json"
+  if "$GATE" compare "$BASELINE" "$tmp/slow" --report "$tmp/slow_report.json" >/dev/null; then
+    echo "bench_gate self-test FAILED: a 2x slowdown passed the gate" >&2
+    exit 1
+  fi
+  grep -q '"regressed"' "$tmp/slow_report.json" \
+    || { echo "delta report did not record the regression" >&2; exit 1; }
+  echo "bench_gate self-test OK: identical baselines pass, 2x slowdown fails"
+  exit 0
+fi
+
+CURRENT="${1:-.}"
+"$GATE" compare "$BASELINE" "$CURRENT" --report BENCH_gate_report.json

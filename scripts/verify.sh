@@ -42,11 +42,14 @@ echo "==> chaos smoke: seeded scenario matrix, twice, byte-identical"
 SEMHOLO_EXAMPLE_QUICK=1 \
   cargo run -q --release --offline --example chaos_recovery >/dev/null
 mv RESILIENCE_chaos.json /tmp/semholo_chaos_run1.json
+mv SLO_report.json /tmp/semholo_slo_run1.json
 SEMHOLO_EXAMPLE_QUICK=1 \
   cargo run -q --release --offline --example chaos_recovery >/dev/null
-# The whole fault matrix is seeded virtual time: same seed, same bytes.
+# The whole fault matrix is seeded virtual time: same seed, same bytes —
+# and so are the SLO verdicts judged from it.
 cmp /tmp/semholo_chaos_run1.json RESILIENCE_chaos.json
-rm -f /tmp/semholo_chaos_run1.json
+cmp /tmp/semholo_slo_run1.json SLO_report.json
+rm -f /tmp/semholo_chaos_run1.json /tmp/semholo_slo_run1.json
 
 echo "==> fuzz smoke: seeded decoder sweep, twice, byte-identical"
 SEMHOLO_EXAMPLE_QUICK=1 \
@@ -62,12 +65,14 @@ echo "==> fleet smoke: capacity search, twice, byte-identical"
 SEMHOLO_EXAMPLE_QUICK=1 \
   cargo run -q --release --offline --example fleet_capacity >/dev/null
 mv FLEET_capacity.json /tmp/semholo_fleet_run1.json
+mv SLO_fleet.json /tmp/semholo_slofleet_run1.json
 SEMHOLO_EXAMPLE_QUICK=1 \
   cargo run -q --release --offline --example fleet_capacity >/dev/null
 # Placement, probes, and every embedded room are seeded virtual time:
-# same seed, same bytes.
+# same seed, same bytes — including the attribution + SLO document.
 cmp /tmp/semholo_fleet_run1.json FLEET_capacity.json
-rm -f /tmp/semholo_fleet_run1.json
+cmp /tmp/semholo_slofleet_run1.json SLO_fleet.json
+rm -f /tmp/semholo_fleet_run1.json /tmp/semholo_slofleet_run1.json
 
 echo "==> cross-thread gate: SEMHOLO_THREADS=1 vs =8, byte-identical"
 # The fork-join pool's contract (DESIGN.md §10): thread count changes
@@ -76,10 +81,13 @@ echo "==> cross-thread gate: SEMHOLO_THREADS=1 vs =8, byte-identical"
 SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
   cargo run -q --release --offline --example chaos_recovery >/dev/null
 mv RESILIENCE_chaos.json /tmp/semholo_chaos_t1.json
+mv SLO_report.json /tmp/semholo_slo_t1.json
 SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
   cargo run -q --release --offline --example chaos_recovery >/dev/null
 cmp /tmp/semholo_chaos_t1.json RESILIENCE_chaos.json
-rm -f /tmp/semholo_chaos_t1.json
+# SLO verdicts must not know how many workers judged the run.
+cmp /tmp/semholo_slo_t1.json SLO_report.json
+rm -f /tmp/semholo_chaos_t1.json /tmp/semholo_slo_t1.json
 SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
   cargo run -q --release --offline --example fuzz_sweep >/dev/null
 mv FUZZ_report.json /tmp/semholo_fuzz_t1.json
@@ -92,10 +100,12 @@ rm -f /tmp/semholo_fuzz_t1.json
 SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
   cargo run -q --release --offline --example fleet_capacity >/dev/null
 mv FLEET_capacity.json /tmp/semholo_fleet_t1.json
+mv SLO_fleet.json /tmp/semholo_slofleet_t1.json
 SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
   cargo run -q --release --offline --example fleet_capacity >/dev/null
 cmp /tmp/semholo_fleet_t1.json FLEET_capacity.json
-rm -f /tmp/semholo_fleet_t1.json
+cmp /tmp/semholo_slofleet_t1.json SLO_fleet.json
+rm -f /tmp/semholo_fleet_t1.json /tmp/semholo_slofleet_t1.json
 
 if command -v cargo-clippy >/dev/null 2>&1; then
   echo "==> cargo clippy -p holo-runtime -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
@@ -104,14 +114,26 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   cargo clippy -q --offline -p holo-chaos --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fuzz --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fleet --no-deps --all-targets -- -D warnings
+  cargo clippy -q --offline -p holo-obs --no-deps --all-targets -- -D warnings
 else
   echo "==> clippy unavailable; skipping lint step"
 fi
+
+echo "==> bench gate self-test: injected 2x slowdown must fail the gate"
+bash scripts/bench_gate.sh --self-test
 
 echo "==> cargo bench -q --offline -- --quick"
 cargo bench -q --offline --workspace -- --quick
 
 echo "==> bench reports:"
 ls -1 BENCH_*.json
+
+echo "==> bench gate: fresh artifacts vs committed baselines (advisory)"
+# --quick sampling on a shared machine is too noisy to hard-fail tier-1
+# verify; the delta report still lands in BENCH_gate_report.json and a
+# regression is printed loudly. CI perf runs invoke the gate directly
+# (scripts/bench_gate.sh) where it does fail the build.
+bash scripts/bench_gate.sh . \
+  || echo "WARNING: bench gate flagged regressions (see BENCH_gate_report.json)"
 
 echo "verify: OK"

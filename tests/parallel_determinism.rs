@@ -11,7 +11,7 @@
 
 use holo_chaos::harness::run_scenarios;
 use holo_conf::{ParticipantConfig, Room, RoomConfig};
-use holo_fleet::{run_fleet, FleetConfig, FleetTopology, RoomSpec};
+use holo_fleet::{run_fleet, run_fleet_observed, FleetConfig, FleetTopology, RoomSpec};
 use holo_fuzz::{run_sweep, FuzzConfig};
 use holo_runtime::par;
 use semholo::keypoint::{KeypointConfig, KeypointPipeline};
@@ -49,8 +49,8 @@ fn room_report() -> String {
     Room::new(cfg).unwrap().run(&scene(), &mut pipelines).unwrap().render()
 }
 
-fn fleet_report() -> String {
-    let cfg = FleetConfig {
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
         topology: FleetTopology::uniform(2, 1, 1e9, 1e9, 1.0, 20.0),
         rooms: vec![
             RoomSpec::uniform(3, 0, 25e6),
@@ -59,20 +59,35 @@ fn fleet_report() -> String {
         frames: 4,
         seed: 9,
         ..Default::default()
-    };
-    let make = |room: usize| -> Box<dyn SemanticPipeline> {
-        Box::new(KeypointPipeline::new(
-            KeypointConfig { resolution: 24, ..Default::default() },
-            room as u64,
-        ))
-    };
-    run_fleet(&cfg, &scene(), &make).unwrap().report.render()
+    }
+}
+
+fn fleet_make(room: usize) -> Box<dyn SemanticPipeline> {
+    Box::new(KeypointPipeline::new(
+        KeypointConfig { resolution: 24, ..Default::default() },
+        room as u64,
+    ))
+}
+
+fn fleet_report() -> String {
+    run_fleet(&fleet_cfg(), &scene(), &fleet_make).unwrap().report.render()
+}
+
+/// The SLO + attribution document for the same fleet: verdicts, node
+/// floors, and the exact stage budgets all ride on spans recorded by
+/// parallel workers, so this digest pins the whole observability path.
+fn fleet_slo_doc() -> String {
+    let spec = holo_obs::SloSpec::telepresence();
+    run_fleet_observed(&fleet_cfg(), &scene(), &fleet_make, &spec)
+        .unwrap()
+        .to_json()
+        .render()
 }
 
 /// One full artifact set at the current thread count:
-/// `(room, resilience, fuzz, chrome trace, metric snapshot, fleet)`
-/// digests.
-fn artifact_digests() -> [u64; 6] {
+/// `(room, resilience, fuzz, chrome trace, metric snapshot, fleet,
+/// SLO_fleet)` digests.
+fn artifact_digests() -> [u64; 7] {
     let room = fnv1a64(room_report().as_bytes());
     let resilience = fnv1a64(run_scenarios(42).render().as_bytes());
     // 600 mutants per target spans three fixed 250-mutant chunks, so
@@ -97,27 +112,36 @@ fn artifact_digests() -> [u64; 6] {
     holo_trace::disable();
     holo_trace::reset();
     let fleet = fnv1a64(fleet_report().as_bytes());
-    [room, resilience, fuzz, chrome, snapshot, fleet]
+    let slo = fnv1a64(fleet_slo_doc().as_bytes());
+    [room, resilience, fuzz, chrome, snapshot, fleet, slo]
 }
 
 /// Goldens for the artifact set (order: room, resilience, fuzz, chrome,
-/// snapshot, fleet). Pinned from a `SEMHOLO_THREADS=1` run; the test
-/// proves every other thread count produces the same bytes.
-const GOLDEN: [u64; 6] = [
+/// snapshot, fleet, SLO_fleet). Pinned from a `SEMHOLO_THREADS=1` run;
+/// the test proves every other thread count produces the same bytes.
+const GOLDEN: [u64; 7] = [
     0xdc36754bb8f72046,
     0xb17b12f6b905488f,
     0x04784ca02f924a59,
-    0x9ab62be313fbae97,
+    0x6c7cc21eb89536be,
     0xf458be6318ffbe6a,
     0x8fe6f3f4bc3ff94e,
+    0xc832c977a97ed3b5,
 ];
 
 #[test]
 fn reports_and_traces_byte_identical_at_threads_1_2_8() {
     // One test drives all thread counts: the override is process-wide,
     // so splitting this into per-count tests would race.
-    let names =
-        ["RoomReport", "ResilienceReport", "FUZZ_report", "chrome_trace", "metrics", "FleetReport"];
+    let names = [
+        "RoomReport",
+        "ResilienceReport",
+        "FUZZ_report",
+        "chrome_trace",
+        "metrics",
+        "FleetReport",
+        "SLO_fleet",
+    ];
     for t in [1usize, 2, 8] {
         par::set_thread_override(Some(t));
         let digests = artifact_digests();
