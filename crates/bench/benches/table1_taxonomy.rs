@@ -10,6 +10,7 @@
 use holo_runtime::bench::Criterion;
 use holo_runtime::{bench_group, bench_main};
 use holo_bench::{bandwidth_at_30fps, bench_scene, mbps, report, report_header};
+use holo_gaussian::GaussianPipeline;
 use holo_gpu::Device;
 use semholo::image::{ImageConfig, ImagePipeline};
 use semholo::keypoint::{KeypointConfig, KeypointPipeline};
@@ -74,6 +75,8 @@ fn table1(c: &mut Criterion) {
     rows.push(measure(&mut img, &scene, "image"));
     let mut txt = TextPipeline::new(TextConfig::default(), 42);
     rows.push(measure(&mut txt, &scene, "text"));
+    let mut gau = GaussianPipeline::default();
+    rows.push(measure(&mut gau, &scene, "gaussian"));
     let mut trad = TraditionalPipeline::new(MeshWire::Compressed, 14);
     rows.push(measure(&mut trad, &scene, "traditional"));
 
@@ -106,15 +109,27 @@ fn table1(c: &mut Criterion) {
     }
     // Paper-shape assertions.
     let kp_row = &rows[0];
-    let trad_row = &rows[3];
+    let gau_row = &rows[3];
+    let trad_row = &rows[4];
     assert!(kp_row.payload * 10 < trad_row.payload, "keypoint payload must be far below mesh");
     assert!(kp_row.recon_ms > 300.0, "keypoint reconstruction must be the bottleneck (H)");
+    // The amortized tier's shape: steady-state payload below even the
+    // keypoint tier (the prebuild blob carries the geometry), and a
+    // reconstruction that skips the implicit-surface solve entirely.
+    assert!(gau_row.payload < kp_row.payload, "gaussian update must undercut keypoints");
+    assert!(gau_row.recon_ms < kp_row.recon_ms, "splat posing must beat implicit surfaces");
+    report(&format!(
+        "  gaussian amortization: {} B prebuild once, then {} B/frame updates",
+        gau.prebuild_bytes(),
+        gau_row.payload
+    ));
 
     // Criterion: one encode per pipeline class.
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     let frame = scene.frame(6);
     group.bench_function("keypoint_encode", |b| b.iter(|| kp.encode(black_box(&frame)).unwrap()));
+    group.bench_function("gaussian_encode", |b| b.iter(|| gau.encode(black_box(&frame)).unwrap()));
     group.bench_function("text_encode", |b| b.iter(|| txt.encode(black_box(&frame)).unwrap()));
     group.bench_function("traditional_encode", |b| b.iter(|| trad.encode(black_box(&frame)).unwrap()));
     group.finish();

@@ -111,6 +111,43 @@ against per-frame mesh delivery.",
         );
     }
 
+    // --- Extension row: the amortized gaussian tier — geometry ships
+    // once in the prebuild blob, steady state is only pose/region
+    // conditioning, landing well under even the semantic pose payload. ---
+    {
+        use holo_gaussian::GaussianPipeline;
+        use semholo::SemanticPipeline;
+        let mut p = GaussianPipeline::default();
+        let frames = 20;
+        let _ = p.encode(&scene.frame(0)).unwrap(); // prebuild + keyframe
+        let mut update_total = 0usize;
+        for i in 1..frames {
+            update_total += p.encode(&scene.frame(i)).unwrap().payload.len();
+        }
+        let mean_update = update_total / (frames - 1);
+        report(&format!(
+            "extension — gaussian updates: {:>8} steady-state ({} B/frame after a {:.1} KB one-time prebuild)",
+            mbps(bandwidth_at_30fps(mean_update)),
+            mean_update,
+            p.prebuild_bytes() as f64 / 1024.0,
+        ));
+        let be = holo_gaussian::break_even_seconds(
+            &holo_gaussian::TierCost {
+                name: "gaussian".into(),
+                prebuild_bytes: p.prebuild_bytes() as u64,
+                steady_bps: bandwidth_at_30fps(mean_update),
+            },
+            &holo_gaussian::TierCost {
+                name: "mesh".into(),
+                prebuild_bytes: 0,
+                steady_bps: bandwidth_at_30fps(mesh_comp.len()),
+            },
+        );
+        report(&format!(
+            "  prebuild amortizes against compressed mesh delivery after {be:.2} s of call time"
+        ));
+    }
+
     // --- Criterion timings of the codecs themselves. ---
     let mut group = c.benchmark_group("table2");
     group.sample_size(20);

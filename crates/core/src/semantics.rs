@@ -23,6 +23,9 @@ pub enum SemanticKind {
     Traditional,
     /// Foveated hybrid: mesh fovea + keypoint periphery (§3.1 agenda).
     FoveatedHybrid,
+    /// Amortized gaussian-avatar tier: one-time prebuilt splat avatar +
+    /// tiny per-frame conditioning updates (research-agenda dimension).
+    Gaussian,
 }
 
 impl SemanticKind {
@@ -34,6 +37,7 @@ impl SemanticKind {
             SemanticKind::Text => "text",
             SemanticKind::Traditional => "traditional",
             SemanticKind::FoveatedHybrid => "foveated-hybrid",
+            SemanticKind::Gaussian => "gaussian",
         }
     }
 }

@@ -31,6 +31,7 @@ pub fn payload_kind_for(kind: SemanticKind) -> PayloadKind {
         SemanticKind::Image => PayloadKind::Image,
         SemanticKind::Text => PayloadKind::Text,
         SemanticKind::Traditional | SemanticKind::FoveatedHybrid => PayloadKind::Mesh,
+        SemanticKind::Gaussian => PayloadKind::GaussianUpdate,
     }
 }
 

@@ -17,7 +17,9 @@
 
 use crate::fec::{self, FecConfig};
 use crate::plan::FaultPlan;
-use crate::report::{ResilienceReport, RoomOutcome, SessionOutcome, StreamOutcome};
+use crate::report::{
+    GaussianRoomOutcome, ResilienceReport, RoomOutcome, SessionOutcome, StreamOutcome,
+};
 use crate::retransmit::RetransmitConfig;
 use holo_conf::degrade::DegradationLadder;
 use holo_conf::frame::{DependencyTracker, FrameTag};
@@ -449,6 +451,83 @@ pub fn room_collapse_plan(seed: u64) -> FaultPlan {
     FaultPlan::clean(seed).named("room_collapse").bandwidth(0.0, 1e6, 0.002)
 }
 
+/// The plan the gaussian sweep uses: the starved downlink squeezes to
+/// 3% capacity (~750 kbps on the uniform 25 Mbps room — 375 kbps per
+/// stream), which sits between the gaussian floor (160 kbps) and the
+/// mesh floor (4 Mbps): the amortized rung is the richest feasible
+/// tier, *if* the subscriber holds the prebuild.
+pub fn gaussian_squeeze_plan(seed: u64) -> FaultPlan {
+    FaultPlan::clean(seed).named("gaussian_squeeze").bandwidth(0.0, 1e6, 0.03)
+}
+
+/// Run one amortized-ladder room scenario: like [`run_room_scenario`]
+/// but with the 4-tier gaussian ladder, and the starved subscriber's
+/// prebuild blob either announced (`prebuilt`) or absent. The outcome
+/// records which rung actually carried the starved port's traffic.
+pub fn run_gaussian_room_scenario(
+    plan: &FaultPlan,
+    participants: usize,
+    frames: usize,
+    starved: usize,
+    prebuilt: bool,
+) -> GaussianRoomOutcome {
+    let mut parts = ParticipantConfig::uniform_room(participants, 25e6);
+    if plan.loss.is_some() || !plan.segments.is_empty() {
+        parts[starved].downlink_fault = Some(plan.compile(starved as u64 * 2 + 1));
+    }
+    for c in &plan.churn {
+        parts[c.participant].active = Some((c.join_s, c.leave_s));
+    }
+    let mut ready = vec![false; participants];
+    ready[starved] = prebuilt;
+    let cfg = RoomConfig {
+        participants: parts,
+        frames,
+        degrade: Some(DegradationLadder::amortized()),
+        prebuild_ready: Some(ready),
+        share_encoder: true,
+        seed: plan.seed,
+        ..Default::default()
+    };
+    let mut room = Room::new(cfg).expect("gaussian room scenario must be valid");
+    let mut pipelines: Vec<Box<dyn semholo::semantics::SemanticPipeline>> = vec![Box::new(
+        KeypointPipeline::new(KeypointConfig { resolution: 24, ..Default::default() }, 7),
+    )];
+    let report =
+        room.run(&tiny_scene(), &mut pipelines).expect("gaussian room scenario must run");
+    let s = &report.subscribers[starved];
+    let count = |name: &str| {
+        s.tier_counts.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0)
+    };
+    let total: u64 = s.tier_counts.iter().map(|(_, c)| c).sum();
+    GaussianRoomOutcome {
+        plan: plan.name.clone(),
+        participants,
+        prebuilt,
+        starved_usable_rate: s.usable_rate,
+        gaussian_delivered: count("gaussian"),
+        keypoints_delivered: count("keypoints"),
+        gaussian_fraction: if total > 0 {
+            count("gaussian") as f64 / total as f64
+        } else {
+            0.0
+        },
+        ladder_downgrades: s.ladder_downgrades,
+        ladder_upgrades: s.ladder_upgrades,
+        kept_flowing: s.usable > 0 && s.usable_rate > 0.5,
+    }
+}
+
+/// The two-cell gaussian sweep ([`gaussian_squeeze_plan`] with and
+/// without the prebuild), ready to append to a [`ResilienceReport`]'s
+/// `gaussian` section.
+pub fn run_gaussian_scenarios(seed: u64) -> Vec<GaussianRoomOutcome> {
+    let plan = gaussian_squeeze_plan(seed);
+    holo_trace::parallel::par_map(vec![true, false], |prebuilt| {
+        run_gaussian_room_scenario(&plan, 3, 12, 2, prebuilt)
+    })
+}
+
 /// One cell of the scenario matrix: plain data, so the whole matrix
 /// can ship to the fork-join pool and run in any worker layout.
 enum ScenarioItem {
@@ -643,6 +722,38 @@ mod tests {
         let clean =
             run_stream_scenario(&FaultPlan::clean(11), &Mechanisms::baseline(), &cfg);
         assert_eq!(clean.corrupt_detected, 0);
+    }
+
+    #[test]
+    fn gaussian_squeeze_rides_the_rung_only_when_prebuilt() {
+        let plan = gaussian_squeeze_plan(7);
+        let warm = run_gaussian_room_scenario(&plan, 3, 12, 2, true);
+        assert!(warm.ladder_downgrades >= 1, "ladder never engaged: {warm:?}");
+        assert!(warm.gaussian_delivered > 0, "rung never carried traffic: {warm:?}");
+        assert!(
+            warm.gaussian_fraction > 0.5,
+            "prebuilt port should mostly ride gaussian: {warm:?}"
+        );
+        assert!(warm.kept_flowing);
+
+        let cold = run_gaussian_room_scenario(&plan, 3, 12, 2, false);
+        assert_eq!(cold.gaussian_delivered, 0, "gated rung opened without the blob");
+        assert!(cold.keypoints_delivered > 0, "cold port must fall through: {cold:?}");
+        assert!(cold.kept_flowing, "keypoints keep the cold port flowing");
+    }
+
+    #[test]
+    fn gaussian_sweep_is_deterministic() {
+        use holo_runtime::ser::ToJson;
+        let a = run_gaussian_scenarios(7);
+        let b = run_gaussian_scenarios(7);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        // Appending the sweep leaves the base matrix bytes untouched.
+        let mut report = run_scenarios(7);
+        let base = report.render();
+        report.gaussian = a;
+        assert!(report.render().starts_with(&base[..base.len() - 1]));
     }
 
     #[test]

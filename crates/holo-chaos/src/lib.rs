@@ -29,9 +29,12 @@ pub mod retransmit;
 
 pub use fec::FecConfig;
 pub use harness::{
-    room_collapse_plan, run_room_scenario, run_scenarios, run_session_scenario,
+    gaussian_squeeze_plan, room_collapse_plan, run_gaussian_room_scenario,
+    run_gaussian_scenarios, run_room_scenario, run_scenarios, run_session_scenario,
     run_stream_scenario, Mechanisms, StreamConfig,
 };
 pub use plan::{ChurnEvent, FaultPlan};
-pub use report::{ResilienceReport, RoomOutcome, SessionOutcome, StreamOutcome};
+pub use report::{
+    GaussianRoomOutcome, ResilienceReport, RoomOutcome, SessionOutcome, StreamOutcome,
+};
 pub use retransmit::{send_with_retransmit, RetransmitConfig, SendOutcome};

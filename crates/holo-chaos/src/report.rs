@@ -129,6 +129,50 @@ impl ToJson for RoomOutcome {
     }
 }
 
+/// One amortized-ladder room run: the 4-tier ladder (mesh → gaussian →
+/// keypoints → text) under a fault plan, with the prebuild blob either
+/// announced or absent at the starved port.
+#[derive(Debug, Clone)]
+pub struct GaussianRoomOutcome {
+    /// Fault plan name.
+    pub plan: String,
+    /// Room size.
+    pub participants: usize,
+    /// Whether the starved subscriber held the prebuild blob.
+    pub prebuilt: bool,
+    /// Usable rate of the starved subscriber.
+    pub starved_usable_rate: f64,
+    /// Fan-outs delivered on the gaussian rung at the starved port.
+    pub gaussian_delivered: u64,
+    /// Fan-outs delivered on the keypoints rung at the starved port.
+    pub keypoints_delivered: u64,
+    /// Gaussian share of all delivered fan-outs at the starved port.
+    pub gaussian_fraction: f64,
+    /// Ladder downgrades at the starved port.
+    pub ladder_downgrades: u64,
+    /// Ladder upgrades at the starved port.
+    pub ladder_upgrades: u64,
+    /// Whether frames kept flowing to the starved subscriber.
+    pub kept_flowing: bool,
+}
+
+impl ToJson for GaussianRoomOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("plan", self.plan.to_json()),
+            ("participants", self.participants.to_json()),
+            ("prebuilt", self.prebuilt.to_json()),
+            ("starved_usable_rate", self.starved_usable_rate.to_json()),
+            ("gaussian_delivered", self.gaussian_delivered.to_json()),
+            ("keypoints_delivered", self.keypoints_delivered.to_json()),
+            ("gaussian_fraction", self.gaussian_fraction.to_json()),
+            ("ladder_downgrades", self.ladder_downgrades.to_json()),
+            ("ladder_upgrades", self.ladder_upgrades.to_json()),
+            ("kept_flowing", self.kept_flowing.to_json()),
+        ])
+    }
+}
+
 /// The full matrix outcome.
 #[derive(Debug, Clone, Default)]
 pub struct ResilienceReport {
@@ -140,6 +184,10 @@ pub struct ResilienceReport {
     pub sessions: Vec<SessionOutcome>,
     /// Room scenarios, in sweep order.
     pub rooms: Vec<RoomOutcome>,
+    /// Amortized-ladder room scenarios, in sweep order. Empty unless
+    /// the gaussian sweep ran; omitted from the JSON when empty, so
+    /// the base matrix renders byte-for-byte as before.
+    pub gaussian: Vec<GaussianRoomOutcome>,
 }
 
 impl ResilienceReport {
@@ -150,12 +198,16 @@ impl ResilienceReport {
 
     /// Canonical JSON (deterministic field order and float formatting).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut fields = vec![
             ("seed", self.seed.to_json()),
             ("streams", self.streams.to_json()),
             ("sessions", self.sessions.to_json()),
             ("rooms", self.rooms.to_json()),
-        ])
+        ];
+        if !self.gaussian.is_empty() {
+            fields.push(("gaussian", self.gaussian.to_json()));
+        }
+        JsonValue::obj(fields)
     }
 
     /// The canonical report bytes.
@@ -200,6 +252,28 @@ impl ResilienceReport {
                 ..Default::default()
             };
             out.push((format!("room/{}", r.plan), spec.evaluate_summary(&summary)));
+        }
+        for g in &self.gaussian {
+            // Only prebuilt cells carry a gaussian fraction: the cold
+            // cell is *supposed* to fall through to keypoints, so the
+            // amortized spec's rung floor is skipped there, not failed.
+            let summary = holo_obs::SloSummary {
+                usable_rate: Some(g.starved_usable_rate),
+                tier_fractions: if g.prebuilt {
+                    vec![("gaussian".to_string(), g.gaussian_fraction)]
+                } else {
+                    Vec::new()
+                },
+                ..Default::default()
+            };
+            out.push((
+                format!(
+                    "gaussian/{}/{}",
+                    g.plan,
+                    if g.prebuilt { "prebuilt" } else { "cold" }
+                ),
+                spec.evaluate_summary(&summary),
+            ));
         }
         out
     }
@@ -269,6 +343,7 @@ mod tests {
                 ladder_upgrades: 1,
                 kept_flowing: true,
             }],
+            gaussian: Vec::new(),
         };
         let s = report.render();
         for key in [
@@ -311,5 +386,44 @@ mod tests {
         holo_runtime::ser::parse(&doc).expect("SLO doc parses");
         assert_eq!(doc, report.slo_report(&spec).render());
         assert_eq!(s, report.render(), "slo_report leaves render() untouched");
+    }
+
+    #[test]
+    fn gaussian_section_renders_only_when_present() {
+        let mut report = ResilienceReport { seed: 9, ..Default::default() };
+        let base = report.render();
+        assert!(!base.contains("\"gaussian\""), "empty sweep must be invisible");
+
+        let outcome = |prebuilt: bool, frac: f64| GaussianRoomOutcome {
+            plan: "gaussian_squeeze".into(),
+            participants: 3,
+            prebuilt,
+            starved_usable_rate: 0.95,
+            gaussian_delivered: if prebuilt { 20 } else { 0 },
+            keypoints_delivered: if prebuilt { 2 } else { 22 },
+            gaussian_fraction: frac,
+            ladder_downgrades: 1,
+            ladder_upgrades: 0,
+            kept_flowing: true,
+        };
+        report.gaussian.push(outcome(true, 0.9));
+        report.gaussian.push(outcome(false, 0.0));
+        let with = report.render();
+        // The base fields render byte-for-byte as before; the gaussian
+        // section is strictly appended.
+        assert!(with.starts_with(&base[..base.len() - 1]));
+        assert!(with.contains("gaussian_fraction"));
+        holo_runtime::ser::parse(&with).expect("canonical JSON parses");
+
+        // The amortized spec judges the prebuilt cell's rung floor and
+        // skips it on the cold cell.
+        let spec = holo_obs::SloSpec::telepresence_amortized();
+        let verdicts = report.slo_verdicts(&spec);
+        let (name, v) = &verdicts[verdicts.len() - 2];
+        assert_eq!(name, "gaussian/gaussian_squeeze/prebuilt");
+        assert!(v.checks.iter().any(|c| c.objective == "tier:gaussian" && c.pass));
+        let (name, v) = &verdicts[verdicts.len() - 1];
+        assert_eq!(name, "gaussian/gaussian_squeeze/cold");
+        assert!(v.skipped.contains(&"tier:gaussian".to_string()));
     }
 }

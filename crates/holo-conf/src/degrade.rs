@@ -1,22 +1,37 @@
 //! The semantic degradation ladder.
 //!
 //! The paper's taxonomy orders semantic representations by richness:
-//! full mesh/NeRF geometry, then keypoints, then text. A subscriber
-//! whose downlink collapses — or whose delta chain is poisoned — should
-//! not stall: the SFU can *degrade* the stream to a cheaper tier whose
-//! frames are self-contained snapshots (a keypoint pose, a caption) and
-//! climb back up once the link has been stable for a window. This is
-//! rate adaptation along the **semantic** axis, orthogonal to the
-//! per-rung bitrate thinning in [`holo_net::abr`]:
+//! full mesh/NeRF geometry, then (with a prebuilt avatar) gaussian
+//! updates, then keypoints, then text. A subscriber whose downlink
+//! collapses — or whose delta chain is poisoned — should not stall: the
+//! SFU can *degrade* the stream to a cheaper tier and climb back up once
+//! the link has been stable for a window. This is rate adaptation along
+//! the **semantic** axis, orthogonal to the per-rung bitrate thinning in
+//! [`holo_net::abr`].
+//!
+//! The walk is **data-driven** over an ordered tier list — no tier is
+//! special-cased, so a four-tier (or N-tier) ladder needs no match-arm
+//! surgery. Each [`TierSpec`] declares the two properties the state
+//! machine cares about:
+//!
+//! - `delta_coded` — frames at this tier depend on a keyframe chain.
+//!   A poisoned chain makes delta frames undecodable (drop to the
+//!   nearest snapshot tier), and climbing *into* a delta-coded tier must
+//!   wait for a keyframe, the only point where the chain can re-sync.
+//! - `requires_prebuild` — the tier only works for subscribers holding
+//!   this sender's prebuilt avatar blob. Without it the tier is simply
+//!   not on the ladder for that subscriber: downgrades skip over it and
+//!   upgrades never enter it.
+//!
+//! Rules, unchanged from the three-tier ladder:
 //!
 //! - **Downgrades are immediate.** Starvation (the predicted per-stream
 //!   share falls below a tier's floor) drops straight to the deepest
-//!   tier the share affords; a poisoned delta at the top tier drops one
-//!   tier, because forwarding an undecodable delta wastes the wire.
+//!   affordable tier; a poisoned delta drops to the nearest available
+//!   self-contained tier, because forwarding an undecodable delta wastes
+//!   the wire.
 //! - **Upgrades are cautious.** The share must clear the richer tier's
-//!   floor for a full stability window, one tier per step — and the
-//!   climb back *into* the top tier waits for a keyframe, the only
-//!   point where the delta chain can re-sync.
+//!   floor for a full stability window, one (available) tier per step.
 
 use holo_net::time::SimTime;
 use std::time::Duration;
@@ -26,6 +41,9 @@ use std::time::Duration;
 pub enum SemanticTier {
     /// Full geometry (mesh / NeRF) stream: keyframes + deltas.
     Mesh,
+    /// Prebuilt gaussian-avatar conditioning updates: tiny keyframe +
+    /// delta stream, usable only with the one-time avatar blob.
+    Gaussian,
     /// Keypoint skeleton snapshots: self-contained, ~2% of mesh bytes.
     Keypoints,
     /// Text captions: self-contained, ~0.2% of mesh bytes.
@@ -37,13 +55,14 @@ impl SemanticTier {
     pub fn name(self) -> &'static str {
         match self {
             SemanticTier::Mesh => "mesh",
+            SemanticTier::Gaussian => "gaussian",
             SemanticTier::Keypoints => "keypoints",
             SemanticTier::Text => "text",
         }
     }
 }
 
-/// One tier of the ladder: what it costs and when it is affordable.
+/// One tier of the ladder: what it costs and when it is usable.
 #[derive(Debug, Clone)]
 pub struct TierSpec {
     /// The representation shipped at this tier.
@@ -53,6 +72,11 @@ pub struct TierSpec {
     /// Minimum predicted per-stream share (bps) to *stay* at this tier.
     /// The bottom tier must use `0.0` so some tier is always feasible.
     pub min_share_bps: f64,
+    /// Frames at this tier ride a keyframe/delta chain (not snapshots).
+    pub delta_coded: bool,
+    /// The tier is usable only by subscribers holding the sender's
+    /// prebuilt avatar blob.
+    pub requires_prebuild: bool,
 }
 
 /// The ladder: tiers ordered richest-first, plus the upgrade window.
@@ -71,20 +95,54 @@ impl DegradationLadder {
     pub fn standard() -> Self {
         Self {
             tiers: vec![
-                TierSpec { tier: SemanticTier::Mesh, payload_fraction: 1.0, min_share_bps: 4.0e6 },
+                TierSpec {
+                    tier: SemanticTier::Mesh,
+                    payload_fraction: 1.0,
+                    min_share_bps: 4.0e6,
+                    delta_coded: true,
+                    requires_prebuild: false,
+                },
                 TierSpec {
                     tier: SemanticTier::Keypoints,
                     payload_fraction: 0.02,
                     min_share_bps: 120e3,
+                    delta_coded: false,
+                    requires_prebuild: false,
                 },
-                TierSpec { tier: SemanticTier::Text, payload_fraction: 0.002, min_share_bps: 0.0 },
+                TierSpec {
+                    tier: SemanticTier::Text,
+                    payload_fraction: 0.002,
+                    min_share_bps: 0.0,
+                    delta_coded: false,
+                    requires_prebuild: false,
+                },
             ],
             stability_window: Duration::from_millis(500),
         }
     }
 
+    /// The four-tier amortized ladder: mesh → gaussian → keypoints →
+    /// text. The gaussian rung ships tiny avatar-conditioning updates
+    /// (richer than keypoints at a fraction of mesh bytes) but only to
+    /// subscribers holding the sender's prebuilt avatar blob.
+    pub fn amortized() -> Self {
+        let mut ladder = Self::standard();
+        ladder.tiers.insert(
+            1,
+            TierSpec {
+                tier: SemanticTier::Gaussian,
+                payload_fraction: 0.035,
+                min_share_bps: 160e3,
+                delta_coded: true,
+                requires_prebuild: true,
+            },
+        );
+        ladder
+    }
+
     /// Structural checks: non-empty, fractions in `(0, 1]` and strictly
-    /// descending, floors descending with a zero floor at the bottom.
+    /// descending, floors descending, and a bottom tier that always
+    /// works: zero floor, self-contained, no prebuild gate.
     pub fn validate(&self) -> Result<(), String> {
         if self.tiers.is_empty() {
             return Err("degradation ladder needs at least one tier".into());
@@ -105,8 +163,12 @@ impl DegradationLadder {
                 return Err(format!("tier {} floor must be finite and >= 0", t.tier.name()));
             }
         }
-        if self.tiers.last().unwrap().min_share_bps != 0.0 {
+        let bottom = self.tiers.last().unwrap();
+        if bottom.min_share_bps != 0.0 {
             return Err("bottom tier floor must be 0 so some tier is always feasible".into());
+        }
+        if bottom.delta_coded || bottom.requires_prebuild {
+            return Err("bottom tier must be a self-contained, ungated safety tier".into());
         }
         if self.stability_window == Duration::ZERO {
             return Err("stability window must be positive".into());
@@ -122,6 +184,7 @@ pub struct DegradeState {
     pub ladder: DegradationLadder,
     level: usize,
     pending_up_since: Option<SimTime>,
+    prebuild_ready: bool,
     /// Downgrade transitions taken (starvation or poison).
     pub downgrades: u64,
     /// Upgrade transitions taken.
@@ -129,9 +192,19 @@ pub struct DegradeState {
 }
 
 impl DegradeState {
-    /// Start at the top tier.
+    /// Start at the richest tier this subscriber can use (without the
+    /// prebuild blob, the richest ungated tier).
     pub fn new(ladder: DegradationLadder) -> Self {
-        Self { ladder, level: 0, pending_up_since: None, downgrades: 0, upgrades: 0 }
+        let mut s = Self {
+            ladder,
+            level: 0,
+            pending_up_since: None,
+            prebuild_ready: false,
+            downgrades: 0,
+            upgrades: 0,
+        };
+        s.level = (0..s.ladder.tiers.len()).find(|&i| s.available(i)).unwrap_or(0);
+        s
     }
 
     /// Current tier index (0 = richest).
@@ -144,10 +217,25 @@ impl DegradeState {
         &self.ladder.tiers[self.level]
     }
 
-    /// Whether frames at the current tier are self-contained snapshots
-    /// (every tier below the top ships snapshots, never deltas).
+    /// Whether frames at the current tier are self-contained snapshots.
     pub fn self_contained(&self) -> bool {
-        self.level > 0
+        !self.ladder.tiers[self.level].delta_coded
+    }
+
+    /// Whether this subscriber holds the sender's prebuilt avatar blob.
+    pub fn prebuild_ready(&self) -> bool {
+        self.prebuild_ready
+    }
+
+    /// Mark the prebuild blob as transferred (or revoked). Prebuild
+    /// arrival only opens gated tiers for future upgrades; revocation
+    /// evicts the subscriber from a gated tier on the next decision.
+    pub fn set_prebuild_ready(&mut self, ready: bool) {
+        self.prebuild_ready = ready;
+    }
+
+    fn available(&self, index: usize) -> bool {
+        !self.ladder.tiers[index].requires_prebuild || self.prebuild_ready
     }
 
     /// Advance the state machine for one forwarded frame and return the
@@ -157,27 +245,38 @@ impl DegradeState {
     /// whether the offered frame is a keyframe.
     pub fn decide(&mut self, now: SimTime, share_bps: f64, poisoned: bool, is_key: bool) -> usize {
         let tiers = &self.ladder.tiers;
-        // Richest tier whose floor the share clears (bottom floor is 0).
-        let feasible =
-            tiers.iter().position(|t| share_bps >= t.min_share_bps).unwrap_or(tiers.len() - 1);
+        // Richest *available* tier whose floor the share clears (the
+        // bottom tier is ungated with a zero floor, so one always is).
+        let feasible = (0..tiers.len())
+            .find(|&i| self.available(i) && share_bps >= tiers[i].min_share_bps)
+            .unwrap_or(tiers.len() - 1);
         if feasible > self.level {
-            // Starvation: drop immediately, as deep as needed.
+            // Starvation (or a revoked prebuild): drop immediately, as
+            // deep as needed, skipping unavailable tiers.
             self.level = feasible;
             self.downgrades += 1;
             self.pending_up_since = None;
-        } else if poisoned && !is_key && self.level == 0 && tiers.len() > 1 {
-            // A poisoned top-tier delta is undecodable; ship a
-            // self-contained snapshot one tier down instead.
-            self.level = 1;
+        } else if poisoned && !is_key && tiers[self.level].delta_coded {
+            // A poisoned delta is undecodable; ship from the nearest
+            // available self-contained tier below instead. (The bottom
+            // tier is always such a tier.)
+            let snapshot = (self.level + 1..tiers.len())
+                .find(|&i| self.available(i) && !tiers[i].delta_coded)
+                .unwrap_or(tiers.len() - 1);
+            self.level = snapshot;
             self.downgrades += 1;
             self.pending_up_since = None;
         } else if feasible < self.level {
-            // Richer tier affordable: climb one step per stability
-            // window, and into the top tier only at a keyframe.
+            // Richer tier affordable: climb one available step per
+            // stability window, and into a delta-coded tier only at a
+            // keyframe (the chain can only sync there).
             let since = *self.pending_up_since.get_or_insert(now);
-            let target = self.level - 1;
+            let target = (0..self.level)
+                .rev()
+                .find(|&i| self.available(i))
+                .expect("feasible < level implies a richer available tier");
             if now.saturating_since(since) >= self.ladder.stability_window
-                && (target != 0 || is_key)
+                && (!tiers[target].delta_coded || is_key)
             {
                 self.level = target;
                 self.upgrades += 1;
@@ -204,6 +303,15 @@ mod tests {
     }
 
     #[test]
+    fn amortized_ladder_validates() {
+        let l = DegradationLadder::amortized();
+        assert!(l.validate().is_ok());
+        assert_eq!(l.tiers.len(), 4);
+        assert_eq!(l.tiers[1].tier, SemanticTier::Gaussian);
+        assert!(l.tiers[1].requires_prebuild && l.tiers[1].delta_coded);
+    }
+
+    #[test]
     fn validate_rejects_broken_ladders() {
         let mut l = DegradationLadder::standard();
         l.tiers[1].payload_fraction = 1.0;
@@ -215,6 +323,14 @@ mod tests {
 
         let l = DegradationLadder { tiers: vec![], stability_window: Duration::from_millis(1) };
         assert!(l.validate().is_err(), "empty ladder");
+
+        let mut l = DegradationLadder::standard();
+        l.tiers.last_mut().unwrap().requires_prebuild = true;
+        assert!(l.validate().is_err(), "gated bottom tier");
+
+        let mut l = DegradationLadder::standard();
+        l.tiers.last_mut().unwrap().delta_coded = true;
+        assert!(l.validate().is_err(), "delta-coded bottom tier");
     }
 
     #[test]
@@ -279,5 +395,71 @@ mod tests {
         for i in 1..100 {
             assert_eq!(s.decide(ms(i * 33), 0.0, false, i % 10 == 0), 2);
         }
+    }
+
+    #[test]
+    fn starvation_skips_gaussian_without_the_prebuild() {
+        // Share affords gaussian (160k) but not mesh: without the blob
+        // the subscriber lands on keypoints, with it on gaussian.
+        let mut without = DegradeState::new(DegradationLadder::amortized());
+        assert_eq!(without.decide(ms(0), 300e3, false, false), 2, "skips gated tier");
+        let mut with = DegradeState::new(DegradationLadder::amortized());
+        with.set_prebuild_ready(true);
+        assert_eq!(with.decide(ms(0), 300e3, false, false), 1, "lands on gaussian");
+    }
+
+    #[test]
+    fn upgrade_into_gaussian_needs_prebuild_window_and_keyframe() {
+        let mut s = DegradeState::new(DegradationLadder::amortized());
+        s.decide(ms(0), 130e3, false, true); // -> keypoints (level 2)
+        assert_eq!(s.level(), 2);
+        // Share recovers into gaussian range but the blob is missing:
+        // the climb target is mesh... which the share cannot afford, so
+        // gaussian-range share with no prebuild means no richer feasible
+        // tier at all — the subscriber holds at keypoints.
+        for t in 0..20 {
+            assert_eq!(s.decide(ms(100 + t * 100), 300e3, false, true), 2);
+        }
+        assert_eq!(s.upgrades, 0);
+        // Blob arrives: gaussian becomes the upgrade target, but the
+        // climb still waits for the window and then a keyframe.
+        s.set_prebuild_ready(true);
+        assert_eq!(s.decide(ms(3000), 300e3, false, false), 2, "window restarts");
+        assert_eq!(s.decide(ms(3600), 300e3, false, false), 2, "delta cannot enter");
+        assert_eq!(s.decide(ms(3700), 300e3, false, true), 1, "keyframe enters gaussian");
+        assert_eq!(s.upgrades, 1);
+        assert!(!s.self_contained(), "gaussian updates are delta-coded");
+    }
+
+    #[test]
+    fn poisoned_gaussian_delta_drops_to_keypoints() {
+        let mut s = DegradeState::new(DegradationLadder::amortized());
+        s.set_prebuild_ready(true);
+        s.decide(ms(0), 300e3, false, true); // -> gaussian
+        assert_eq!(s.level(), 1);
+        // Poisoned chain at a delta-coded tier: drop to the nearest
+        // self-contained tier (keypoints), not the bottom.
+        assert_eq!(s.decide(ms(33), 300e3, true, false), 2);
+        assert_eq!(s.downgrades, 2);
+    }
+
+    #[test]
+    fn poisoned_mesh_delta_skips_gaussian_snapshot_hunt() {
+        // From mesh, a poisoned delta needs a *snapshot* tier: gaussian
+        // is delta-coded, so the drop lands on keypoints even when the
+        // prebuild is present.
+        let mut s = DegradeState::new(DegradationLadder::amortized());
+        s.set_prebuild_ready(true);
+        assert_eq!(s.decide(ms(0), 10e6, true, false), 2);
+    }
+
+    #[test]
+    fn revoked_prebuild_evicts_from_gaussian() {
+        let mut s = DegradeState::new(DegradationLadder::amortized());
+        s.set_prebuild_ready(true);
+        s.decide(ms(0), 300e3, false, true); // -> gaussian
+        assert_eq!(s.level(), 1);
+        s.set_prebuild_ready(false);
+        assert_eq!(s.decide(ms(33), 300e3, false, false), 2, "gated tier no longer usable");
     }
 }

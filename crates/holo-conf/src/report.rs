@@ -60,11 +60,17 @@ pub struct SubscriberReport {
     pub ladder_downgrades: u64,
     /// Semantic-ladder upgrade transitions taken at this port.
     pub ladder_upgrades: u64,
+    /// Delivered fan-outs per ladder rung, `(tier name, count)` in
+    /// rung order. Populated only for ladders with a prebuild-gated
+    /// rung (the amortized gaussian tier), where the classic
+    /// `degraded` split cannot say *which* rung carried the traffic;
+    /// empty otherwise, and omitted from the JSON when empty.
+    pub tier_counts: Vec<(String, u64)>,
 }
 
 impl ToJson for SubscriberReport {
     fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut fields = vec![
             ("id", self.id.to_json()),
             ("expected", self.expected.to_json()),
             ("delivered", self.delivered.to_json()),
@@ -82,7 +88,19 @@ impl ToJson for SubscriberReport {
             ("degraded", self.degraded.to_json()),
             ("ladder_downgrades", self.ladder_downgrades.to_json()),
             ("ladder_upgrades", self.ladder_upgrades.to_json()),
-        ])
+        ];
+        if !self.tier_counts.is_empty() {
+            fields.push((
+                "tier_counts",
+                JsonValue::Obj(
+                    self.tier_counts
+                        .iter()
+                        .map(|(name, count)| (name.clone(), count.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::obj(fields)
     }
 }
 
@@ -184,16 +202,28 @@ impl RoomReport {
                 p99_e2e_ms: s.e2e_ms.percentile(99.0),
                 max_stall_ms: None,
                 worst_window_burn: None,
-                tier_fractions: if s.usable > 0 {
-                    vec![
-                        (
-                            "full".to_string(),
-                            (s.usable - s.degraded) as f64 / s.usable as f64,
-                        ),
-                        ("degraded".to_string(), s.degraded as f64 / s.usable as f64),
-                    ]
-                } else {
-                    Vec::new()
+                tier_fractions: {
+                    let mut tf = if s.usable > 0 {
+                        vec![
+                            (
+                                "full".to_string(),
+                                (s.usable - s.degraded) as f64 / s.usable as f64,
+                            ),
+                            ("degraded".to_string(), s.degraded as f64 / s.usable as f64),
+                        ]
+                    } else {
+                        Vec::new()
+                    };
+                    // Amortized ladders add one fraction per rung
+                    // (delivered share at the SFU port), so per-tier
+                    // floors like `gaussian >= 0.5` are judgeable.
+                    let total: u64 = s.tier_counts.iter().map(|(_, c)| c).sum();
+                    if total > 0 {
+                        for (name, count) in &s.tier_counts {
+                            tf.push((name.clone(), *count as f64 / total as f64));
+                        }
+                    }
+                    tf
                 },
             })
             .collect()

@@ -47,9 +47,14 @@ pub struct RoomConfig {
     pub drop_policy: DropPolicy,
     /// Per-subscriber thinning ladder; `None` forwards full quality.
     pub ladder: Option<Ladder>,
-    /// Semantic degradation ladder (mesh → keypoints → text); `None`
-    /// always ships the top tier.
+    /// Semantic degradation ladder (mesh → keypoints → text, or the
+    /// amortized 4-tier variant); `None` always ships the top tier.
     pub degrade: Option<DegradationLadder>,
+    /// Per-participant gaussian prebuild availability: `prebuild[i]`
+    /// says subscriber `i` holds the one-time avatar blob, unlocking
+    /// prebuild-gated ladder rungs at its port. `None` means nobody
+    /// prebuilt (gated rungs stay closed).
+    pub prebuild_ready: Option<Vec<bool>>,
     /// ABR safety margin (fraction of predicted bandwidth used).
     pub abr_safety: f64,
     /// Uplink loss policy (sender -> SFU).
@@ -88,6 +93,7 @@ impl Default for RoomConfig {
             drop_policy: DropPolicy::TailDrop,
             ladder: None,
             degrade: None,
+            prebuild_ready: None,
             abr_safety: 0.8,
             uplink_policy: LossPolicy::RetransmitOnce,
             downlink_policy: LossPolicy::DropFrame,
@@ -214,12 +220,18 @@ impl Room {
             cfg.degrade.clone(),
         )
         .map_err(SemHoloError::Config)?;
+        if let Some(ready) = &cfg.prebuild_ready {
+            for (i, &r) in ready.iter().enumerate() {
+                sfu.set_prebuild_ready(i, r);
+            }
+        }
 
         // --- The event loop. ---
         // meta[sender][index]; arrivals[subscriber][sender][index].
         let mut meta: Vec<Vec<Option<FrameMeta>>> = vec![vec![None; cfg.frames]; n];
-        // arrivals[subscriber][sender][index] = (arrival, self_contained).
-        let mut arrivals: Vec<Vec<Vec<Option<(SimTime, bool)>>>> =
+        // arrivals[subscriber][sender][index] =
+        //   (arrival, self_contained, degraded).
+        let mut arrivals: Vec<Vec<Vec<Option<(SimTime, bool, bool)>>>> =
             vec![vec![vec![None; cfg.frames]; n]; n];
         let mut shared_cache: Vec<Option<FrameMeta>> = vec![None; cfg.frames];
         let mut uplink_lost = 0u64;
@@ -323,7 +335,7 @@ impl Room {
                     for rec in sfu.fan_out(&frame, event.at) {
                         if let ForwardOutcome::DeliveredAt(t) = rec.outcome {
                             arrivals[rec.subscriber][sender][index] =
-                                Some((t, rec.self_contained));
+                                Some((t, rec.self_contained, rec.degraded));
                             if tracing {
                                 holo_trace::set_lane(cfg.lane_base + rec.subscriber as u32);
                                 holo_trace::span_enter_frame(
@@ -379,18 +391,20 @@ impl Room {
                     if arrived.is_some() {
                         delivered += 1;
                     }
-                    // Degraded tiers ship self-contained snapshots:
-                    // they decode like keyframes.
+                    // Self-contained tiers ship snapshots: they decode
+                    // like keyframes. (Delta-coded degraded tiers —
+                    // gaussian — keep the sender's key/delta tags.)
                     let tag = match arrived {
-                        Some((_, true)) => FrameTag::Key,
+                        Some((_, true, _)) => FrameTag::Key,
                         _ => FrameTag::for_index(index, cfg.keyframe_interval),
                     };
                     if !dep.advance(index, tag, arrived.is_some()) {
                         continue;
                     }
                     usable += 1;
-                    let (arrival, self_contained) = arrived.expect("usable implies delivered");
-                    if self_contained {
+                    let (arrival, _, was_degraded) =
+                        arrived.expect("usable implies delivered");
+                    if was_degraded {
                         degraded += 1;
                     }
                     let m = meta[u][index].as_ref().expect("delivered implies encoded");
@@ -425,6 +439,18 @@ impl Room {
                 }
             }
             let port = &sfu_ref.ports[s];
+            // Per-rung delivery breakdown, reported only for amortized
+            // (prebuild-gated) ladders — see `SubscriberReport`.
+            let tier_counts = match port.degrade.as_ref() {
+                Some(d) if d.ladder.tiers.iter().any(|t| t.requires_prebuild) => d
+                    .ladder
+                    .tiers
+                    .iter()
+                    .zip(&port.tier_delivered)
+                    .map(|(t, &c)| (t.tier.name().to_string(), c))
+                    .collect(),
+                _ => Vec::new(),
+            };
             Ok(SubscriberReport {
                 id: s,
                 expected,
@@ -444,6 +470,7 @@ impl Room {
                 degraded,
                 ladder_downgrades: port.degrade.as_ref().map_or(0, |d| d.downgrades),
                 ladder_upgrades: port.degrade.as_ref().map_or(0, |d| d.upgrades),
+                tier_counts,
             })
         };
         let subscribers: Vec<SubscriberReport> =
@@ -711,6 +738,54 @@ mod tests {
         // Healthy subscribers are untouched.
         assert_eq!(report.subscribers[0].degraded, 0);
         assert_eq!(report.subscribers[0].usable, report.subscribers[0].expected);
+    }
+
+    #[test]
+    fn amortized_room_rides_gaussian_only_with_the_prebuild() {
+        use crate::degrade::DegradationLadder;
+
+        let scene = scene();
+        let run = |prebuilt: bool| {
+            let mut participants = ParticipantConfig::uniform_room(3, 25e6);
+            // Participant 2's downlink sits between the gaussian floor
+            // (160 kbps per stream) and the mesh floor: 600 kbps over
+            // 2 streams = 300 kbps each.
+            participants[2].downlink_trace =
+                holo_net::trace::BandwidthTrace::Constant { bps: 600e3 };
+            let cfg = RoomConfig {
+                participants,
+                frames: 12,
+                degrade: Some(DegradationLadder::amortized()),
+                prebuild_ready: prebuilt.then(|| vec![false, false, true]),
+                share_encoder: true,
+                ..Default::default()
+            };
+            Room::new(cfg).unwrap().run(&scene, &mut vec![kp()]).unwrap()
+        };
+
+        let with_blob = run(true);
+        let starved = &with_blob.subscribers[2];
+        let gaussian = starved
+            .tier_counts
+            .iter()
+            .find(|(n, _)| n == "gaussian")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert!(gaussian > 0, "gaussian rung never delivered: {:?}", starved.tier_counts);
+        assert!(starved.degraded > 0, "gaussian frames count as degraded");
+        assert!(
+            with_blob.render().contains("tier_counts"),
+            "amortized rooms report the per-rung breakdown"
+        );
+
+        let without = run(false);
+        let gaussian = without.subscribers[2]
+            .tier_counts
+            .iter()
+            .find(|(n, _)| n == "gaussian")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(gaussian, 0, "gated rung stays closed without the blob");
     }
 
     #[test]

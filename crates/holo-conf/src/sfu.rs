@@ -46,9 +46,14 @@ pub struct ForwardRecord {
     pub outcome: ForwardOutcome,
     /// Semantic tier the frame was shipped at.
     pub tier: SemanticTier,
-    /// Whether the shipped frame was a self-contained snapshot (any
-    /// tier below the top): it decodes regardless of the delta chain.
+    /// Whether the shipped frame was a self-contained snapshot (a
+    /// tier whose codec is not delta-coded): it decodes regardless of
+    /// the delta chain.
     pub self_contained: bool,
+    /// Whether the frame shipped below the top semantic tier. Distinct
+    /// from `self_contained` once the ladder holds delta-coded rungs
+    /// below the top (the amortized gaussian tier).
+    pub degraded: bool,
     /// Wire bytes relative to the full-quality frame (ABR rung or tier
     /// fraction, whichever applied).
     pub fraction: f64,
@@ -69,6 +74,9 @@ pub struct SubscriberPort {
     /// Semantic degradation ladder state; `None` always ships the top
     /// tier.
     pub degrade: Option<DegradeState>,
+    /// Delivered-frame count per ladder rung (empty without a ladder);
+    /// feeds the per-tier breakdown in the room report.
+    pub tier_delivered: Vec<u64>,
     /// Per-sender delta-chain trackers mirroring what this subscriber
     /// can decode, updated online as forwards resolve (the ladder's
     /// poison signal).
@@ -84,6 +92,10 @@ impl SubscriberPort {
         abr: Option<AbrController>,
         degrade: Option<DegradeState>,
     ) -> Self {
+        let tier_delivered = degrade
+            .as_ref()
+            .map(|d| vec![0; d.ladder.tiers.len()])
+            .unwrap_or_default();
         Self {
             transport: FrameTransport::new(link, policy),
             queue,
@@ -91,6 +103,7 @@ impl SubscriberPort {
             predictor: EwmaPredictor::new(0.3),
             rung_fraction: Summary::new(),
             degrade,
+            tier_delivered,
             chains: Vec::new(),
         }
     }
@@ -116,20 +129,22 @@ impl SubscriberPort {
         }
         let poisoned = self.chains[frame.sender].poisoned();
 
-        // The semantic ladder picks a tier; degraded tiers ship
-        // self-contained snapshots at a fixed fraction of the payload.
-        let (tier, self_contained, tier_fraction) = match &mut self.degrade {
+        // The semantic ladder picks a tier; degraded tiers ship at a
+        // fixed fraction of the payload, and a tier is self-contained
+        // exactly when its codec is not delta-coded.
+        let (tier, self_contained, tier_fraction, level) = match &mut self.degrade {
             Some(d) => {
                 let level = d.decide(now, per_stream_bps, poisoned, frame.tag.is_key());
                 let spec = &d.ladder.tiers[level];
-                (spec.tier, level > 0, spec.payload_fraction)
+                (spec.tier, !spec.delta_coded, spec.payload_fraction, Some(level))
             }
-            None => (SemanticTier::Mesh, false, 1.0),
+            None => (SemanticTier::Mesh, false, 1.0, None),
         };
+        let degraded = level.is_some_and(|l| l > 0);
 
         // ABR bitrate thinning applies at the top (full-fidelity) tier;
         // degraded tiers are already far below any rung.
-        let fraction = if self_contained {
+        let fraction = if degraded {
             tier_fraction
         } else {
             match &mut self.abr {
@@ -176,8 +191,13 @@ impl SubscriberPort {
         let delivered = matches!(outcome, ForwardOutcome::DeliveredAt(_));
         let effective_tag = if self_contained { FrameTag::Key } else { frame.tag };
         self.chains[frame.sender].advance(frame.index, effective_tag, delivered);
+        if delivered {
+            if let Some(l) = level {
+                self.tier_delivered[l] += 1;
+            }
+        }
 
-        ForwardRecord { subscriber, outcome, tier, self_contained, fraction }
+        ForwardRecord { subscriber, outcome, tier, self_contained, degraded, fraction }
     }
 }
 
@@ -249,6 +269,17 @@ impl Sfu {
         }
     }
 
+    /// Mark whether a subscriber holds the sender's gaussian prebuild
+    /// blob. Ladders with prebuild-gated rungs (the amortized tier)
+    /// only route that subscriber through them while this is true.
+    pub fn set_prebuild_ready(&mut self, participant: usize, ready: bool) {
+        if let Some(port) = self.ports.get_mut(participant) {
+            if let Some(d) = port.degrade.as_mut() {
+                d.set_prebuild_ready(ready);
+            }
+        }
+    }
+
     /// Fan one ingress frame out to every *active* subscriber except
     /// the sender. Returns one [`ForwardRecord`] per copy, in
     /// subscriber order (deterministic).
@@ -271,7 +302,7 @@ impl Sfu {
                 ForwardOutcome::CorruptDropped => self.corrupt_detected += 1,
                 ForwardOutcome::DeliveredAt(_) => {}
             }
-            if record.self_contained {
+            if record.degraded {
                 self.degraded += 1;
             }
             if tracing {
@@ -284,7 +315,7 @@ impl Sfu {
                     }
                     ForwardOutcome::DeliveredAt(_) => holo_trace::counter("sfu.delivered", 1),
                 }
-                if record.self_contained {
+                if record.degraded {
                     holo_trace::counter("sfu.degraded", 1);
                 }
                 if let (Some((d0, u0)), Some(d)) = (ladder_before, port.degrade.as_ref()) {
@@ -497,5 +528,55 @@ mod tests {
         let state = sfu.ports[1].degrade.as_ref().unwrap();
         assert!(state.downgrades >= 1);
         assert!(state.level() > 0, "still degraded at the end");
+    }
+
+    #[test]
+    fn amortized_ladder_routes_through_gaussian_when_prebuilt() {
+        // A 300 kbps downlink clears the gaussian floor (160 kbps) but
+        // not mesh. With the prebuild announced, the subscriber rides
+        // the delta-coded gaussian rung; without it, the same link
+        // falls through to keypoints.
+        let mk = || {
+            let links = vec![
+                constant_link(quiet_cfg(), 100e6, 0),
+                constant_link(quiet_cfg(), 300e3, 1),
+            ];
+            Sfu::new(
+                links,
+                LossPolicy::DropFrame,
+                8,
+                DropPolicy::TailDrop,
+                None,
+                0.8,
+                Some(DegradationLadder::amortized()),
+            )
+            .unwrap()
+        };
+        let run = |sfu: &mut Sfu| {
+            for i in 0..60 {
+                let f = frame(0, i, 20_000); // ~4.8 Mbps at 30 FPS
+                sfu.fan_out(&f, SimTime::from_millis(i as u64 * 33));
+            }
+        };
+
+        let mut with_blob = mk();
+        with_blob.set_prebuild_ready(1, true);
+        run(&mut with_blob);
+        let gaussian_idx = 1;
+        assert!(
+            with_blob.ports[1].tier_delivered[gaussian_idx] > 20,
+            "gaussian deliveries {:?}",
+            with_blob.ports[1].tier_delivered
+        );
+        assert_eq!(with_blob.ports[1].degrade.as_ref().unwrap().level(), gaussian_idx);
+
+        let mut without = mk();
+        run(&mut without);
+        assert_eq!(without.ports[1].tier_delivered[gaussian_idx], 0);
+        assert!(
+            without.ports[1].tier_delivered[2] > 20,
+            "keypoint deliveries {:?}",
+            without.ports[1].tier_delivered
+        );
     }
 }

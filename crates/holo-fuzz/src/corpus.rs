@@ -11,12 +11,17 @@
 //! seed `s` is byte-identical across runs.
 
 use holo_body::params::{PosePayload, SmplxParams, PAYLOAD_KEYPOINTS};
+use holo_body::skeleton::JOINT_COUNT;
 use holo_compress::lzma::lzma_compress;
+use holo_gaussian::{
+    encode_prebuild, AvatarState, GaussianAvatar, GaussianUpdateConfig, GaussianUpdateEncoder,
+    Splat, SH_COEFFS,
+};
 use holo_compress::meshcodec::{encode_mesh, MeshCodecConfig};
 use holo_compress::temporal::TemporalMeshEncoder;
 use holo_compress::texture::{Texture, TextureCodec};
 use holo_keypoints::posedelta::{PoseDeltaConfig, PoseDeltaEncoder};
-use holo_math::{Pcg32, Vec3};
+use holo_math::{Aabb, Pcg32, Quat, Vec3};
 use holo_mesh::trimesh::TriMesh;
 use holo_net::wire::{PayloadKind, WireFrame};
 use holo_runtime::bytes::Bytes;
@@ -172,6 +177,49 @@ pub fn posedelta_corpus(seed: u64) -> (Vec<u8>, Vec<Vec<u8>>) {
     (key.clone(), vec![key, delta])
 }
 
+/// Gaussian prebuild corpus: quantized splat-avatar blobs at two sizes.
+pub fn gaussian_prebuild_corpus(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = Pcg32::with_stream(seed, 0x6A05);
+    let avatar = |n: usize, rng: &mut Pcg32| {
+        let mut splats = Vec::with_capacity(n);
+        for i in 0..n {
+            splats.push(Splat {
+                position: Vec3::new(
+                    rng.next_f32() - 0.5,
+                    1.0 + rng.next_f32(),
+                    rng.next_f32() - 0.5,
+                ),
+                scale: Vec3::new(0.01, 0.012, 0.008),
+                rotation: Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), rng.next_f32()),
+                opacity: 0.5 + 0.5 * rng.next_f32(),
+                sh: [0.25; SH_COEFFS],
+                region: (i % JOINT_COUNT) as u8,
+            });
+        }
+        let pts: Vec<Vec3> = splats.iter().map(|s| s.position).collect();
+        GaussianAvatar {
+            bounds: Aabb::from_points(&pts).expanded(0.02),
+            splats,
+            region_count: JOINT_COUNT as u8,
+        }
+    };
+    vec![
+        encode_prebuild(&avatar(48, &mut rng)),
+        encode_prebuild(&avatar(4, &mut rng)),
+    ]
+}
+
+/// Gaussian update corpus: one keyframe and one delta frame from the
+/// same encoder run. The keyframe also primes the decoder in the
+/// target registry.
+pub fn gaussian_update_corpus(seed: u64) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut rng = Pcg32::with_stream(seed, 0x6A0D);
+    let mut enc = GaussianUpdateEncoder::new(GaussianUpdateConfig::default());
+    let key = enc.encode(&AvatarState::from_pose(plausible_params(&mut rng)));
+    let delta = enc.encode(&AvatarState::from_pose(plausible_params(&mut rng)));
+    (key.clone(), vec![key, delta])
+}
+
 /// Wire-envelope corpus: every payload kind, including an empty
 /// payload.
 pub fn wire_corpus(seed: u64) -> Vec<Vec<u8>> {
@@ -181,6 +229,7 @@ pub fn wire_corpus(seed: u64) -> Vec<Vec<u8>> {
         PayloadKind::Keypoints,
         PayloadKind::Image,
         PayloadKind::Text,
+        PayloadKind::GaussianUpdate,
         PayloadKind::Control,
     ];
     let mut out = Vec::new();
@@ -212,6 +261,9 @@ mod tests {
         assert_ne!(mesh_corpus(7), mesh_corpus(8));
         assert_eq!(wire_corpus(7), wire_corpus(7));
         assert_eq!(posedelta_corpus(3), posedelta_corpus(3));
+        assert_eq!(gaussian_prebuild_corpus(5), gaussian_prebuild_corpus(5));
+        assert_ne!(gaussian_prebuild_corpus(5), gaussian_prebuild_corpus(6));
+        assert_eq!(gaussian_update_corpus(5), gaussian_update_corpus(5));
     }
 
     #[test]
@@ -226,6 +278,8 @@ mod tests {
             pose_payload_corpus(1),
             wire_corpus(1),
             raw_mesh_corpus(1),
+            gaussian_prebuild_corpus(1),
+            gaussian_update_corpus(1).1,
         ] {
             assert!(!c.is_empty());
             assert!(c.iter().any(|item| item.len() > 16), "corpus too small: {c:?}");

@@ -14,6 +14,7 @@
 //! instantly.
 
 use crate::corpus;
+use holo_gaussian::{GaussianUpdateConfig, GaussianUpdateDecoder};
 use holo_keypoints::posedelta::{PoseDeltaConfig, PoseDeltaDecoder};
 use holo_runtime::ser::DecodeError;
 
@@ -41,6 +42,7 @@ const MIB: usize = 1 << 20;
 pub fn registry(seed: u64) -> Vec<Target> {
     let (temporal_key, temporal_items) = corpus::temporal_corpus(seed);
     let (pose_key, pose_items) = corpus::posedelta_corpus(seed);
+    let (gaussian_key, gaussian_items) = corpus::gaussian_update_corpus(seed);
     vec![
         Target {
             name: "meshcodec.decode_mesh",
@@ -108,6 +110,23 @@ pub fn registry(seed: u64) -> Vec<Target> {
             }),
         },
         Target {
+            name: "gaussian.prebuild",
+            corpus: corpus::gaussian_prebuild_corpus(seed),
+            alloc_cap: 64 * MIB,
+            decode: Box::new(|d| holo_gaussian::decode_prebuild(d).map(|_| ())),
+        },
+        Target {
+            name: "gaussian.update",
+            corpus: gaussian_items,
+            alloc_cap: 32 * MIB,
+            decode: Box::new(move |d| {
+                let cfg = GaussianUpdateConfig::default();
+                let mut dec = GaussianUpdateDecoder::new();
+                dec.decode(&gaussian_key, &cfg)?;
+                dec.decode(d, &cfg).map(|_| ())
+            }),
+        },
+        Target {
             name: "net.wire_frame",
             corpus: corpus::wire_corpus(seed),
             alloc_cap: 8 * MIB,
@@ -129,7 +148,7 @@ mod tests {
     #[test]
     fn registry_covers_every_decoder() {
         let targets = registry(7);
-        assert!(targets.len() >= 11, "decoder went missing: {}", targets.len());
+        assert!(targets.len() >= 13, "decoder went missing: {}", targets.len());
         let mut names: Vec<&str> = targets.iter().map(|t| t.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -1,0 +1,182 @@
+//! Break-even math for the amortized tier, and its frontier report.
+//!
+//! A tier's total cost over a call of duration `t` seconds is
+//! `prebuild_bytes + steady_bps * t / 8`. The gaussian tier buys a low
+//! `steady_bps` with a large prebuild; the break-even duration against a
+//! rival tier is where the totals cross:
+//!
+//! ```text
+//! t* = 8 * (prebuild_own - prebuild_rival) / (bps_rival - bps_own)
+//! ```
+//!
+//! Below `t*` the rival is honestly cheaper; beyond it the amortized
+//! tier wins every additional second. When the rival's steady rate is
+//! not higher, the prebuild never pays off (`t* = -1`, "never"); when
+//! the own prebuild is not larger, the amortized tier wins from `t = 0`.
+
+use holo_runtime::ser::{JsonValue, ToJson};
+
+/// Cost model of one tier: startup bytes + steady-state rate.
+#[derive(Debug, Clone)]
+pub struct TierCost {
+    /// Tier name ("mesh", "gaussian", "keypoints", ...).
+    pub name: String,
+    /// One-time startup transfer, bytes.
+    pub prebuild_bytes: u64,
+    /// Steady-state rate, bits per second.
+    pub steady_bps: f64,
+}
+
+impl TierCost {
+    /// Total bytes transferred over a call of `seconds`.
+    pub fn total_bytes(&self, seconds: f64) -> f64 {
+        self.prebuild_bytes as f64 + self.steady_bps * seconds / 8.0
+    }
+}
+
+/// Break-even call duration in seconds for `own` against `rival`.
+/// Returns `0.0` when `own` is cheaper from the start and `-1.0` when it
+/// never pays off.
+pub fn break_even_seconds(own: &TierCost, rival: &TierCost) -> f64 {
+    let extra_bits = (own.prebuild_bytes as f64 - rival.prebuild_bytes as f64) * 8.0;
+    let rate_gain = rival.steady_bps - own.steady_bps;
+    if extra_bits <= 0.0 {
+        return if rate_gain >= 0.0 { 0.0 } else { -1.0 };
+    }
+    if rate_gain <= 0.0 {
+        return -1.0;
+    }
+    extra_bits / rate_gain
+}
+
+/// One cell of the amortization frontier: a hypothetical prebuild size ×
+/// update rate, with break-evens against the measured rival tiers.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Prebuild size, bytes.
+    pub prebuild_bytes: u64,
+    /// Update-stream rate, bits per second.
+    pub update_bps: f64,
+    /// Break-even vs the mesh tier, seconds (-1 = never).
+    pub break_even_vs_mesh_s: f64,
+    /// Break-even vs the keypoint tier, seconds (-1 = never).
+    pub break_even_vs_keypoints_s: f64,
+}
+
+impl ToJson for FrontierPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("prebuild_bytes", JsonValue::Num(self.prebuild_bytes as f64)),
+            ("update_bps", JsonValue::Num(self.update_bps)),
+            ("break_even_vs_mesh_s", JsonValue::Num(self.break_even_vs_mesh_s)),
+            ("break_even_vs_keypoints_s", JsonValue::Num(self.break_even_vs_keypoints_s)),
+        ])
+    }
+}
+
+/// The amortization-frontier report (`GAUSSIAN_frontier.json`).
+#[derive(Debug, Clone)]
+pub struct FrontierReport {
+    /// Measured per-tier cost models, richest first.
+    pub tiers: Vec<TierCost>,
+    /// The sweep grid.
+    pub grid: Vec<FrontierPoint>,
+}
+
+impl FrontierReport {
+    /// Build the grid: every (prebuild size, update rate) cell against
+    /// the measured mesh and keypoint tiers found in `tiers`.
+    pub fn sweep(
+        tiers: Vec<TierCost>,
+        prebuild_sizes: &[u64],
+        update_rates_bps: &[f64],
+    ) -> Self {
+        let find = |name: &str| {
+            tiers
+                .iter()
+                .find(|t| t.name == name)
+                .cloned()
+                .unwrap_or(TierCost { name: name.into(), prebuild_bytes: 0, steady_bps: 0.0 })
+        };
+        let mesh = find("mesh");
+        let keypoints = find("keypoints");
+        let mut grid = Vec::with_capacity(prebuild_sizes.len() * update_rates_bps.len());
+        for &pb in prebuild_sizes {
+            for &bps in update_rates_bps {
+                let own = TierCost {
+                    name: "gaussian".into(),
+                    prebuild_bytes: pb,
+                    steady_bps: bps,
+                };
+                grid.push(FrontierPoint {
+                    prebuild_bytes: pb,
+                    update_bps: bps,
+                    break_even_vs_mesh_s: break_even_seconds(&own, &mesh),
+                    break_even_vs_keypoints_s: break_even_seconds(&own, &keypoints),
+                });
+            }
+        }
+        Self { tiers, grid }
+    }
+}
+
+impl ToJson for TierCost {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("tier", JsonValue::Str(self.name.clone())),
+            ("prebuild_bytes", JsonValue::Num(self.prebuild_bytes as f64)),
+            ("steady_bps", JsonValue::Num(self.steady_bps)),
+        ])
+    }
+}
+
+impl ToJson for FrontierReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("tiers", JsonValue::Arr(self.tiers.iter().map(ToJson::to_json).collect())),
+            ("frontier", JsonValue::Arr(self.grid.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(name: &str, prebuild: u64, bps: f64) -> TierCost {
+        TierCost { name: name.into(), prebuild_bytes: prebuild, steady_bps: bps }
+    }
+
+    #[test]
+    fn break_even_crossover_is_exact() {
+        let own = tier("gaussian", 1_000_000, 100_000.0);
+        let rival = tier("mesh", 0, 900_000.0);
+        let t = break_even_seconds(&own, &rival);
+        assert!((t - 10.0).abs() < 1e-9, "t* {t}");
+        // At t* the totals agree; before it the rival is cheaper.
+        assert!((own.total_bytes(t) - rival.total_bytes(t)).abs() < 1.0);
+        assert!(own.total_bytes(t * 0.5) > rival.total_bytes(t * 0.5));
+        assert!(own.total_bytes(t * 2.0) < rival.total_bytes(t * 2.0));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let cheap = tier("gaussian", 0, 50_000.0);
+        let rich = tier("mesh", 0, 900_000.0);
+        assert_eq!(break_even_seconds(&cheap, &rich), 0.0);
+        // A prebuild with no rate advantage never pays off.
+        let heavy = tier("gaussian", 1_000_000, 950_000.0);
+        assert_eq!(break_even_seconds(&heavy, &rich), -1.0);
+    }
+
+    #[test]
+    fn sweep_renders_deterministically() {
+        let tiers = vec![tier("mesh", 0, 4.0e6), tier("keypoints", 0, 1.2e5)];
+        let r = FrontierReport::sweep(tiers, &[100_000, 1_000_000], &[50_000.0, 100_000.0]);
+        assert_eq!(r.grid.len(), 4);
+        let a = r.to_json().render();
+        let b = r.to_json().render();
+        assert_eq!(a, b);
+        assert!(a.contains("break_even_vs_mesh_s"));
+    }
+}

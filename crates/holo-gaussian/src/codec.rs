@@ -1,0 +1,279 @@
+//! Quantized binary codec for the one-time prebuild blob.
+//!
+//! The blob is big (tens of KB to a few MB), cacheable, and CDN-shaped:
+//! it is transferred once per (publisher, subscriber-cohort) and counted
+//! as startup bytes, never steady-state. The format is a fixed 27-byte
+//! record per splat inside quantization bounds carried in the header:
+//!
+//! ```text
+//! magic "GSPL" u32 | version u8 | region_count u8 | count u32 |
+//! bounds min/max 6×f32 |
+//! per splat: pos 3×u16 (normalized in bounds) | scale 3×u8 |
+//!            rotation 4×i8 | opacity u8 | region u8 | sh 12×i8
+//! ```
+//!
+//! Hostile-input contract (the fuzz target pins it): typed errors only,
+//! the splat-count allocation cap is checked *before* any allocation,
+//! and a truncated body is rejected before the splat vector is reserved.
+
+use crate::splat::{GaussianAvatar, Splat, SH_COEFFS};
+use holo_body::skeleton::JOINT_COUNT;
+use holo_math::{Aabb, Quat, Vec3};
+use holo_runtime::ser::{ByteReader, DecodeError};
+
+/// Wire magic, "GSPL" little-endian.
+pub const PREBUILD_MAGIC: u32 = 0x4C50_5347;
+/// Current format version.
+pub const PREBUILD_VERSION: u8 = 1;
+/// Allocation cap: decoders never materialize more splats than this.
+pub const MAX_SPLATS: usize = 1 << 18;
+/// Fixed per-splat record size.
+pub const SPLAT_WIRE_BYTES: usize = 27;
+/// Header size: magic + version + region_count + count + bounds.
+pub const PREBUILD_HEADER_BYTES: usize = 4 + 1 + 1 + 4 + 24;
+/// Quantization ceiling for per-axis splat scale, meters.
+const SCALE_MAX: f32 = 0.08;
+
+fn quant_unit(v: f32) -> u8 {
+    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+fn quant_signed(v: f32) -> i8 {
+    (v.clamp(-1.0, 1.0) * 127.0).round() as i8
+}
+
+/// Serialize an avatar into the prebuild wire format.
+pub fn encode_prebuild(avatar: &GaussianAvatar) -> Vec<u8> {
+    let count = avatar.splats.len().min(MAX_SPLATS) as u32;
+    let mut out = Vec::with_capacity(PREBUILD_HEADER_BYTES + count as usize * SPLAT_WIRE_BYTES);
+    out.extend_from_slice(&PREBUILD_MAGIC.to_le_bytes());
+    out.push(PREBUILD_VERSION);
+    out.push(avatar.region_count);
+    out.extend_from_slice(&count.to_le_bytes());
+    let (lo, hi) = (avatar.bounds.min, avatar.bounds.max);
+    for f in [lo.x, lo.y, lo.z, hi.x, hi.y, hi.z] {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    let span = hi - lo;
+    for s in avatar.splats.iter().take(count as usize) {
+        for (p, l, w) in [
+            (s.position.x, lo.x, span.x),
+            (s.position.y, lo.y, span.y),
+            (s.position.z, lo.z, span.z),
+        ] {
+            let t = if w > 0.0 { ((p - l) / w).clamp(0.0, 1.0) } else { 0.0 };
+            out.extend_from_slice(&((t * 65535.0).round() as u16).to_le_bytes());
+        }
+        for v in [s.scale.x, s.scale.y, s.scale.z] {
+            out.push(quant_unit(v / SCALE_MAX));
+        }
+        // Canonicalize the quaternion sign so -q and q quantize alike.
+        let q = s.rotation.normalized();
+        let sign = if q.w < 0.0 { -1.0 } else { 1.0 };
+        for v in [q.x * sign, q.y * sign, q.z * sign, q.w * sign] {
+            out.push(quant_signed(v) as u8);
+        }
+        out.push(quant_unit(s.opacity));
+        out.push(s.region);
+        for v in s.sh {
+            out.push(quant_signed(v) as u8);
+        }
+    }
+    out
+}
+
+/// Parse a prebuild blob. Typed errors, allocation-capped.
+pub fn decode_prebuild(data: &[u8]) -> Result<GaussianAvatar, DecodeError> {
+    let mut r = ByteReader::new(data);
+    r.expect_magic(PREBUILD_MAGIC)?;
+    let version = r.u8()?;
+    if version != PREBUILD_VERSION {
+        return Err(DecodeError::corrupt(
+            "gaussian prebuild",
+            format!("unsupported version {version}"),
+        ));
+    }
+    let region_count = r.u8()?;
+    if region_count == 0 || region_count as usize > JOINT_COUNT {
+        return Err(DecodeError::corrupt(
+            "gaussian prebuild",
+            format!("region count {region_count} outside 1..={JOINT_COUNT}"),
+        ));
+    }
+    let count = r.u32_le()? as usize;
+    if count > MAX_SPLATS {
+        return Err(DecodeError::LimitExceeded {
+            what: "gaussian splats",
+            requested: count as u64,
+            limit: MAX_SPLATS as u64,
+        });
+    }
+    let mut bf = [0.0f32; 6];
+    for b in &mut bf {
+        *b = r.f32_le()?;
+        if !b.is_finite() {
+            return Err(DecodeError::corrupt("gaussian prebuild", "non-finite bounds"));
+        }
+    }
+    let (lo, hi) = (Vec3::new(bf[0], bf[1], bf[2]), Vec3::new(bf[3], bf[4], bf[5]));
+    if !(lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z) {
+        return Err(DecodeError::corrupt("gaussian prebuild", "inverted bounds"));
+    }
+    // Reject short or padded bodies before reserving the splat vector.
+    let body = count * SPLAT_WIRE_BYTES;
+    if r.remaining() < body {
+        return Err(DecodeError::Truncated {
+            needed: r.pos() + body,
+            available: data.len(),
+        });
+    }
+    if r.remaining() > body {
+        return Err(DecodeError::corrupt(
+            "gaussian prebuild",
+            format!("{} trailing bytes after {count} splats", r.remaining() - body),
+        ));
+    }
+    let span = hi - lo;
+    let mut splats = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut pos = [0.0f32; 3];
+        for (p, (l, w)) in pos
+            .iter_mut()
+            .zip([(lo.x, span.x), (lo.y, span.y), (lo.z, span.z)])
+        {
+            *p = l + r.u16_le()? as f32 / 65535.0 * w;
+        }
+        let mut scale = [0.0f32; 3];
+        for s in &mut scale {
+            *s = r.u8()? as f32 / 255.0 * SCALE_MAX;
+        }
+        let mut qc = [0.0f32; 4];
+        for q in &mut qc {
+            *q = (r.u8()? as i8) as f32 / 127.0;
+        }
+        let raw = Quat { x: qc[0], y: qc[1], z: qc[2], w: qc[3] };
+        let rotation = if qc.iter().map(|v| v * v).sum::<f32>() < 1e-6 {
+            Quat::IDENTITY
+        } else {
+            raw.normalized()
+        };
+        let opacity = r.u8()? as f32 / 255.0;
+        let region = r.u8()?;
+        if region >= region_count {
+            return Err(DecodeError::corrupt(
+                "gaussian prebuild",
+                format!("splat region {region} >= region count {region_count}"),
+            ));
+        }
+        let mut sh = [0.0f32; SH_COEFFS];
+        for v in &mut sh {
+            *v = (r.u8()? as i8) as f32 / 127.0;
+        }
+        splats.push(Splat {
+            position: Vec3::new(pos[0], pos[1], pos[2]),
+            scale: Vec3::new(scale[0], scale[1], scale[2]),
+            rotation,
+            opacity,
+            sh,
+            region,
+        });
+    }
+    Ok(GaussianAvatar { splats, bounds: Aabb::new(lo, hi), region_count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_avatar(n: usize) -> GaussianAvatar {
+        let mut splats = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f32 / n.max(1) as f32;
+            splats.push(Splat {
+                position: Vec3::new(t - 0.5, 1.0 + t, 0.1 * t),
+                scale: Vec3::new(0.01, 0.012, 0.008),
+                rotation: Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), t),
+                opacity: 0.9,
+                sh: [t.min(1.0); SH_COEFFS],
+                region: (i % JOINT_COUNT) as u8,
+            });
+        }
+        let pts: Vec<Vec3> = splats.iter().map(|s| s.position).collect();
+        GaussianAvatar {
+            bounds: Aabb::from_points(&pts).expanded(0.02),
+            splats,
+            region_count: JOINT_COUNT as u8,
+        }
+    }
+
+    #[test]
+    fn roundtrip_within_quantization_error() {
+        let avatar = sample_avatar(200);
+        let blob = encode_prebuild(&avatar);
+        assert_eq!(blob.len(), PREBUILD_HEADER_BYTES + 200 * SPLAT_WIRE_BYTES);
+        let back = decode_prebuild(&blob).unwrap();
+        assert_eq!(back.splats.len(), 200);
+        let step = avatar.bounds.longest_side() / 65535.0;
+        for (a, b) in avatar.splats.iter().zip(&back.splats) {
+            assert!((a.position - b.position).length() < step * 4.0);
+            assert!((a.opacity - b.opacity).abs() < 0.01);
+            assert_eq!(a.region, b.region);
+            assert!((a.sh[0] - b.sh[0]).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_converges() {
+        // A second encode/decode pass stays within quantization noise of
+        // the first — the codec does not drift.
+        let blob = encode_prebuild(&sample_avatar(64));
+        let once = decode_prebuild(&blob).unwrap();
+        let twice = decode_prebuild(&encode_prebuild(&once)).unwrap();
+        for (a, b) in once.splats.iter().zip(&twice.splats) {
+            assert!((a.position - b.position).length() < 1e-4);
+            assert!(a.rotation.angle_to(b.rotation) < 0.05);
+            assert_eq!(a.region, b.region);
+        }
+    }
+
+    #[test]
+    fn splat_count_cap_is_checked_before_allocation() {
+        let mut blob = encode_prebuild(&sample_avatar(4));
+        // Forge a giant splat count at offset 6.
+        blob[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_prebuild(&blob) {
+            Err(DecodeError::LimitExceeded { requested, limit, .. }) => {
+                assert_eq!(requested, u32::MAX as u64);
+                assert_eq!(limit, MAX_SPLATS as u64);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        let blob = encode_prebuild(&sample_avatar(16));
+        for cut in [0, 3, 9, PREBUILD_HEADER_BYTES, blob.len() - 1] {
+            assert!(decode_prebuild(&blob[..cut]).is_err(), "cut {cut} accepted");
+        }
+        let mut padded = blob.clone();
+        padded.push(0);
+        assert!(decode_prebuild(&padded).is_err());
+    }
+
+    #[test]
+    fn hostile_header_fields_rejected() {
+        let good = encode_prebuild(&sample_avatar(4));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(decode_prebuild(&bad_version).is_err());
+        let mut bad_region = good.clone();
+        bad_region[5] = 0;
+        assert!(decode_prebuild(&bad_region).is_err());
+        let mut nan_bounds = good.clone();
+        nan_bounds[10..14].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(decode_prebuild(&nan_bounds).is_err());
+        assert!(decode_prebuild(&[0xDE; 64]).is_err());
+        assert!(decode_prebuild(&[]).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Amortized Gaussian-splat avatars — the fourth semantic tier.
+//!
+//! Mon3tr-style amortization (PAPERS.md, arXiv 2601.07518): pre-build a
+//! splat-cloud avatar **once** from `holo-capture` RGB-D fusion, transfer
+//! the big cacheable blob out of band (CDN-shaped startup bytes), then
+//! stream only a tiny per-frame conditioning signal — skeleton pose plus
+//! per-region opacity/scale deltas. Steady-state bandwidth lands between
+//! the keypoint tier (which ships pose *and* pays full implicit-surface
+//! reconstruction) and the mesh tier (which ships geometry every frame);
+//! the prebuild cost amortizes over call duration, and
+//! [`amortize::break_even_seconds`] computes exactly when.
+//!
+//! # Modules
+//!
+//! - [`splat`] — the splat-cloud representation and rest-space posing.
+//! - [`fit`] — deterministic offline fitting from a captured point cloud.
+//! - [`codec`] — quantized binary codec for the one-time prebuild blob.
+//! - [`update`] — keyframe/delta codec for the per-frame update stream.
+//! - [`pipeline`] — a [`semholo::semantics::SemanticPipeline`] adapter.
+//! - [`amortize`] — break-even frontier math and its JSON report.
+
+pub mod amortize;
+pub mod codec;
+pub mod fit;
+pub mod pipeline;
+pub mod splat;
+pub mod update;
+
+pub use amortize::{break_even_seconds, FrontierPoint, FrontierReport, TierCost};
+pub use codec::{decode_prebuild, encode_prebuild, MAX_SPLATS, SPLAT_WIRE_BYTES};
+pub use fit::{fit_avatar, FitConfig};
+pub use pipeline::GaussianPipeline;
+pub use splat::{AvatarState, GaussianAvatar, Splat, SH_COEFFS};
+pub use update::{GaussianUpdateConfig, GaussianUpdateDecoder, GaussianUpdateEncoder, UPDATE_VEC_LEN};

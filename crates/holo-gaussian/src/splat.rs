@@ -1,0 +1,157 @@
+//! Splat-cloud avatar representation and rest-space posing.
+//!
+//! Splats live in **rest space**: each is bound to its nearest skeleton
+//! joint (its *region*) and rides that joint's translation when posed.
+//! This is the cheapest possible skinning — rigid per-region translation
+//! — but it is exactly what a per-frame update stream of pose +
+//! per-region deltas can animate, and it keeps posing deterministic and
+//! allocation-free per splat.
+
+use holo_body::params::SmplxParams;
+use holo_body::skeleton::{Skeleton, JOINT_COUNT};
+use holo_math::{Aabb, Quat, Vec3};
+use holo_mesh::pointcloud::PointCloud;
+
+/// Spherical-harmonic color coefficients per splat: 3 DC + 9 band-1/2
+/// terms (a truncated real SH basis; the prebuild codec stores all 12).
+pub const SH_COEFFS: usize = 12;
+
+/// Minimum effective opacity for a splat to contribute geometry.
+const OPACITY_CULL: f32 = 0.45;
+
+/// One Gaussian splat in rest space.
+#[derive(Debug, Clone)]
+pub struct Splat {
+    /// Center position, rest space, meters.
+    pub position: Vec3,
+    /// Per-axis standard deviation, meters.
+    pub scale: Vec3,
+    /// Orientation of the anisotropic kernel.
+    pub rotation: Quat,
+    /// Base opacity in [0, 1].
+    pub opacity: f32,
+    /// SH color coefficients; `sh[0..3]` is the RGB DC term in [0, 1].
+    pub sh: [f32; SH_COEFFS],
+    /// Nearest-joint binding (index into the skeleton's joints).
+    pub region: u8,
+}
+
+/// A prebuilt splat-cloud avatar: the one-time, cacheable asset.
+#[derive(Debug, Clone)]
+pub struct GaussianAvatar {
+    /// All splats, rest space, deterministic order.
+    pub splats: Vec<Splat>,
+    /// Rest-space bounds (the prebuild codec quantizes positions inside).
+    pub bounds: Aabb,
+    /// Number of valid region indices (≤ [`JOINT_COUNT`]).
+    pub region_count: u8,
+}
+
+/// Per-frame animation state: what the tiny update stream carries.
+#[derive(Debug, Clone)]
+pub struct AvatarState {
+    /// Skeleton pose driving the avatar.
+    pub pose: SmplxParams,
+    /// Per-region opacity multiplier (1.0 = as prebuilt).
+    pub region_opacity: [f32; JOINT_COUNT],
+    /// Per-region scale multiplier (1.0 = as prebuilt).
+    pub region_scale: [f32; JOINT_COUNT],
+}
+
+impl AvatarState {
+    /// Rest state: identity pose, unit multipliers.
+    pub fn rest() -> Self {
+        Self::from_pose(SmplxParams::default())
+    }
+
+    /// State driving the avatar with a pose and unit region multipliers.
+    pub fn from_pose(pose: SmplxParams) -> Self {
+        Self { pose, region_opacity: [1.0; JOINT_COUNT], region_scale: [1.0; JOINT_COUNT] }
+    }
+}
+
+impl GaussianAvatar {
+    /// Pose the avatar: every splat follows its region joint's
+    /// translation from rest to the posed skeleton. Splats whose
+    /// effective opacity falls below the cull threshold are dropped
+    /// (that is how the update stream fades regions out).
+    pub fn posed_cloud(&self, skeleton: &Skeleton, state: &AvatarState) -> PointCloud {
+        let rest = skeleton.rest_positions();
+        let posed = skeleton.forward_kinematics(&state.pose).positions();
+        let mut cloud = PointCloud::new();
+        cloud.points.reserve(self.splats.len());
+        cloud.colors.reserve(self.splats.len());
+        for s in &self.splats {
+            let r = (s.region as usize).min(JOINT_COUNT - 1);
+            if s.opacity * state.region_opacity[r] < OPACITY_CULL {
+                continue;
+            }
+            cloud.points.push(s.position + (posed[r] - rest[r]));
+            cloud.colors.push(Vec3::new(
+                s.sh[0].clamp(0.0, 1.0),
+                s.sh[1].clamp(0.0, 1.0),
+                s.sh[2].clamp(0.0, 1.0),
+            ));
+        }
+        cloud
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_avatar() -> GaussianAvatar {
+        let splats = vec![
+            Splat {
+                position: Vec3::new(0.0, 1.0, 0.0),
+                scale: Vec3::new(0.01, 0.01, 0.01),
+                rotation: Quat::IDENTITY,
+                opacity: 0.9,
+                sh: [0.5; SH_COEFFS],
+                region: 0,
+            },
+            Splat {
+                position: Vec3::new(0.1, 1.5, 0.0),
+                scale: Vec3::new(0.01, 0.01, 0.01),
+                rotation: Quat::IDENTITY,
+                opacity: 0.9,
+                sh: [0.2; SH_COEFFS],
+                region: 12,
+            },
+        ];
+        let bounds = Aabb::from_points(&[splats[0].position, splats[1].position]).expanded(0.05);
+        GaussianAvatar { splats, bounds, region_count: JOINT_COUNT as u8 }
+    }
+
+    #[test]
+    fn rest_pose_reproduces_rest_positions() {
+        let avatar = tiny_avatar();
+        let sk = Skeleton::neutral();
+        let cloud = avatar.posed_cloud(&sk, &AvatarState::rest());
+        assert_eq!(cloud.points.len(), 2);
+        assert!((cloud.points[0] - avatar.splats[0].position).length() < 1e-5);
+    }
+
+    #[test]
+    fn translated_pose_moves_every_splat() {
+        let avatar = tiny_avatar();
+        let sk = Skeleton::neutral();
+        let mut state = AvatarState::rest();
+        state.pose.translation = Vec3::new(0.3, 0.0, 0.0);
+        let cloud = avatar.posed_cloud(&sk, &state);
+        for (p, s) in cloud.points.iter().zip(&avatar.splats) {
+            assert!((p.x - s.position.x - 0.3).abs() < 1e-4, "splat did not follow root");
+        }
+    }
+
+    #[test]
+    fn region_opacity_culls_splats() {
+        let avatar = tiny_avatar();
+        let sk = Skeleton::neutral();
+        let mut state = AvatarState::rest();
+        state.region_opacity[0] = 0.1;
+        let cloud = avatar.posed_cloud(&sk, &state);
+        assert_eq!(cloud.points.len(), 1, "region-0 splat should be culled");
+    }
+}

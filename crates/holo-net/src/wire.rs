@@ -48,6 +48,9 @@ pub enum PayloadKind {
     Text = 3,
     /// Control / unclassified payloads.
     Control = 4,
+    /// Gaussian-avatar per-frame update payloads (pose + region deltas
+    /// conditioning a prebuilt splat avatar).
+    GaussianUpdate = 5,
 }
 
 impl PayloadKind {
@@ -59,6 +62,7 @@ impl PayloadKind {
             2 => Ok(PayloadKind::Image),
             3 => Ok(PayloadKind::Text),
             4 => Ok(PayloadKind::Control),
+            5 => Ok(PayloadKind::GaussianUpdate),
             other => {
                 Err(DecodeError::corrupt("wire kind", format!("unknown payload kind {other}")))
             }
@@ -73,6 +77,7 @@ impl PayloadKind {
             PayloadKind::Image => "image",
             PayloadKind::Text => "text",
             PayloadKind::Control => "control",
+            PayloadKind::GaussianUpdate => "gaussian-update",
         }
     }
 }
@@ -284,6 +289,7 @@ mod tests {
             PayloadKind::Image,
             PayloadKind::Text,
             PayloadKind::Control,
+            PayloadKind::GaussianUpdate,
         ] {
             assert_eq!(PayloadKind::from_byte(kind as u8).unwrap(), kind);
             assert!(!kind.name().is_empty());

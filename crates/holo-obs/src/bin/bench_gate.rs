@@ -3,10 +3,13 @@
 //! Modes:
 //!
 //! - `bench_gate compare <baseline_dir> <current_dir> [--report FILE]
-//!   [--tolerance R]` — join every `BENCH_*.json` in both directories
-//!   on `(group, name)` medians, print the delta table, write the
-//!   machine-readable report, exit 1 on any regression. Unmatched
-//!   metrics (machine-shaped bench names) warn and pass.
+//!   [--tolerance R] [--override PREFIX=R ...]` — join every
+//!   `BENCH_*.json` in both directories on `(group, name)` medians,
+//!   print the delta table, write the machine-readable report, exit 1
+//!   on any regression. Unmatched metrics (machine-shaped bench names)
+//!   warn and pass. `--override` pins a per-metric tolerance by longest
+//!   `"group/name"` prefix — e.g. `--override gaussian_amortization/=1.05`
+//!   holds byte-derived benches far tighter than wall-clock ones.
 //! - `bench_gate scale <in.json> <factor> <out.json>` — multiply every
 //!   `*_ns` statistic by `factor`; the self-test's regression injector.
 //! - `bench_gate snapshot-diff <a.json> <b.json>` — byte-compare two
@@ -28,9 +31,11 @@ fn load_dir(dir: &Path) -> Result<Vec<holo_obs::BenchEntry>, String> {
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                // The gate's own delta report lives next to the bench
+                // artifacts; never read it back as a bench document.
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_gate_report.json"
+            })
         })
         .collect();
     files.sort();
@@ -62,6 +67,14 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             "--tolerance" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
                 Some(r) if r >= 1.0 => cfg.max_ratio = r,
                 _ => return fail("--tolerance needs a ratio >= 1.0"),
+            },
+            "--override" => match it.next().and_then(|o| {
+                let (prefix, ratio) = o.split_once('=')?;
+                let ratio: f64 = ratio.parse().ok()?;
+                (ratio >= 1.0 && !prefix.is_empty()).then(|| (prefix.to_string(), ratio))
+            }) {
+                Some(pair) => cfg.overrides.push(pair),
+                None => return fail("--override needs PREFIX=RATIO with ratio >= 1.0"),
             },
             other => positional.push(other.to_string()),
         }

@@ -76,6 +76,20 @@ impl SloSpec {
         Self { name: name.to_string(), ..Self::telepresence() }
     }
 
+    /// The amortized-tier objective: everything in
+    /// [`SloSpec::telepresence`], plus a floor on the gaussian rung —
+    /// a starved subscriber that holds the prebuild blob should ride
+    /// the amortized tier for at least half of its delivered frames
+    /// instead of falling through to keypoints. Subjects that report
+    /// no gaussian fraction (no amortized ladder in play) skip the
+    /// floor rather than failing it.
+    pub fn telepresence_amortized() -> Self {
+        let mut spec = Self::telepresence();
+        spec.name = "telepresence-amortized".to_string();
+        spec.tier_floors.push(("gaussian".to_string(), 0.5));
+        spec
+    }
+
     /// Evaluate against per-frame observations.
     pub fn evaluate_frames(&self, frames: &[FrameObs]) -> SloVerdict {
         let scheduled = frames.len() as u64;
@@ -426,6 +440,32 @@ mod tests {
         let tier = v.checks.iter().find(|c| c.objective == "tier:full").unwrap();
         assert!(!tier.pass);
         assert_eq!(tier.actual, 0.75);
+    }
+
+    #[test]
+    fn amortized_spec_judges_or_skips_the_gaussian_floor() {
+        let spec = SloSpec::telepresence_amortized();
+        let base = SloSummary {
+            frames_expected: 100,
+            frames_usable: 95,
+            p99_e2e_ms: Some(80.0),
+            ..SloSummary::default()
+        };
+        // No gaussian datum: the floor is skipped, never failed.
+        let v = spec.evaluate_summary(&base);
+        assert!(v.pass(), "{}", v.line());
+        assert!(v.skipped.contains(&"tier:gaussian".to_string()));
+        // A prebuilt subscriber mostly on the rung passes the floor...
+        let mut good = base.clone();
+        good.tier_fractions = vec![("gaussian".to_string(), 0.8)];
+        assert!(spec.evaluate_summary(&good).pass());
+        // ...one that fell through to keypoints fails it.
+        let mut bad = base.clone();
+        bad.tier_fractions = vec![("gaussian".to_string(), 0.1)];
+        let v = spec.evaluate_summary(&bad);
+        assert!(!v.pass());
+        let floor = v.checks.iter().find(|c| c.objective == "tier:gaussian").unwrap();
+        assert!(!floor.pass);
     }
 
     #[test]

@@ -114,7 +114,9 @@ fn main() {
     // SLO and attribute every delivered frame's latency to stages —
     // the cascade hop is carved out explicitly, so "how much of p99 is
     // the inter-node mesh" is a number, not a guess.
-    let spec = holo_obs::SloSpec::telepresence();
+    // The amortized spec also floors the gaussian tier — skipped for
+    // rooms that never route it, judged wherever prebuilt avatars ride.
+    let spec = holo_obs::SloSpec::telepresence_amortized();
     let obs_cfg = holo_fleet::FleetConfig {
         topology: FleetTopology::uniform(2, 1, egress_bps, cascade_bps, 1.0, 20.0),
         rooms: vec![

@@ -40,4 +40,8 @@ if [ "${1:-}" = "--self-test" ]; then
 fi
 
 CURRENT="${1:-.}"
-"$GATE" compare "$BASELINE" "$CURRENT" --report BENCH_gate_report.json
+# The gaussian amortization bench is byte-derived (payload sizes and
+# break-even durations, no wall clocks), so it gets a far tighter
+# tolerance than the timing benches: any drift is a codec change.
+"$GATE" compare "$BASELINE" "$CURRENT" --report BENCH_gate_report.json \
+  --override "gaussian_amortization/=1.05"

@@ -17,7 +17,7 @@ cargo test -q --offline --workspace
 echo "==> example smoke runs (SEMHOLO_EXAMPLE_QUICK=1)"
 for example in quickstart remote_collaboration telesurgery \
     semantic_taxonomy_report conference_capacity fleet_capacity \
-    chaos_recovery fuzz_sweep; do
+    chaos_recovery fuzz_sweep gaussian_amortization; do
   echo "--> example: ${example}"
   SEMHOLO_EXAMPLE_QUICK=1 \
     cargo run -q --release --offline --example "${example}" >/dev/null
@@ -74,6 +74,19 @@ cmp /tmp/semholo_fleet_run1.json FLEET_capacity.json
 cmp /tmp/semholo_slofleet_run1.json SLO_fleet.json
 rm -f /tmp/semholo_fleet_run1.json /tmp/semholo_slofleet_run1.json
 
+echo "==> gaussian smoke: amortization frontier, twice, byte-identical"
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example gaussian_amortization >/dev/null
+mv BENCH_gaussian_amortization.json /tmp/semholo_gauss_run1.json
+mv GAUSSIAN_frontier.json /tmp/semholo_frontier_run1.json
+SEMHOLO_EXAMPLE_QUICK=1 \
+  cargo run -q --release --offline --example gaussian_amortization >/dev/null
+# Every value is byte-derived (payload sizes, break-even durations) —
+# no wall clocks, so the artifacts reproduce exactly.
+cmp /tmp/semholo_gauss_run1.json BENCH_gaussian_amortization.json
+cmp /tmp/semholo_frontier_run1.json GAUSSIAN_frontier.json
+rm -f /tmp/semholo_gauss_run1.json /tmp/semholo_frontier_run1.json
+
 echo "==> cross-thread gate: SEMHOLO_THREADS=1 vs =8, byte-identical"
 # The fork-join pool's contract (DESIGN.md §10): thread count changes
 # wall-clock time only, never bytes. Run the chaos matrix and the fuzz
@@ -106,6 +119,15 @@ SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
 cmp /tmp/semholo_fleet_t1.json FLEET_capacity.json
 cmp /tmp/semholo_slofleet_t1.json SLO_fleet.json
 rm -f /tmp/semholo_fleet_t1.json /tmp/semholo_slofleet_t1.json
+# Gaussian amortization: byte-derived artifacts must not know the
+# thread count either.
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=1 \
+  cargo run -q --release --offline --example gaussian_amortization >/dev/null
+mv BENCH_gaussian_amortization.json /tmp/semholo_gauss_t1.json
+SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
+  cargo run -q --release --offline --example gaussian_amortization >/dev/null
+cmp /tmp/semholo_gauss_t1.json BENCH_gaussian_amortization.json
+rm -f /tmp/semholo_gauss_t1.json
 
 if command -v cargo-clippy >/dev/null 2>&1; then
   echo "==> cargo clippy -p holo-runtime -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
@@ -115,6 +137,7 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   cargo clippy -q --offline -p holo-fuzz --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fleet --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-obs --no-deps --all-targets -- -D warnings
+  cargo clippy -q --offline -p holo-gaussian --no-deps --all-targets -- -D warnings
 else
   echo "==> clippy unavailable; skipping lint step"
 fi

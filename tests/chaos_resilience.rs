@@ -4,10 +4,14 @@
 //! whole scenario matrix replays byte-identically from its seed.
 
 use holo_chaos::{
-    room_collapse_plan, run_room_scenario, run_scenarios, run_session_scenario,
+    gaussian_squeeze_plan, room_collapse_plan, run_gaussian_room_scenario,
+    run_gaussian_scenarios, run_room_scenario, run_scenarios, run_session_scenario,
     run_stream_scenario, FaultPlan, Mechanisms, StreamConfig,
 };
+use holo_conf::degrade::{DegradationLadder, DegradeState};
+use holo_net::time::SimTime;
 use holo_net::transport::LossPolicy;
+use holo_runtime::ser::ToJson;
 
 /// The headline criterion: with FEC(4,1) + retransmission, a stream
 /// under ~5% Gilbert–Elliott burst loss retains at least 2x the usable
@@ -120,6 +124,61 @@ fn corrupted_frames_are_detected_dropped_and_recovered() {
     // consulted — pre-corruption scenarios replay byte-identically.
     let plain = run_stream_scenario(&FaultPlan::burst5(11), &Mechanisms::full(), &cfg);
     assert_eq!(plain.corrupt_detected, 0);
+}
+
+/// The fourth rung is opt-in by construction: under the same squeeze
+/// plan, the starved subscriber rides gaussian updates only when it
+/// holds the sender's prebuilt avatar blob — without it the ladder
+/// skips straight to keypoints, and nobody stalls either way.
+#[test]
+fn starvation_skips_the_gaussian_tier_without_the_prebuild() {
+    let plan = gaussian_squeeze_plan(7);
+    let warm = run_gaussian_room_scenario(&plan, 3, 12, 2, true);
+    let cold = run_gaussian_room_scenario(&plan, 3, 12, 2, false);
+    assert!(warm.gaussian_delivered > 0, "prebuilt subscriber never rode gaussian: {warm:?}");
+    assert!(warm.gaussian_fraction > 0.5, "gaussian should dominate the squeeze: {warm:?}");
+    assert_eq!(cold.gaussian_delivered, 0, "gated tier leaked without the blob: {cold:?}");
+    assert!(cold.keypoints_delivered > 0, "cold subscriber should land on keypoints: {cold:?}");
+    assert!(warm.kept_flowing && cold.kept_flowing, "a squeeze must not stall anyone");
+}
+
+/// Climbing *into* the gaussian tier is keyframe-gated: a late-arriving
+/// prebuild blob opens the rung, but the upgrade waits for the
+/// stability window and then for a keyframe, where the tiny update
+/// stream's delta chain can sync.
+#[test]
+fn upgrade_into_the_gaussian_tier_waits_for_a_keyframe() {
+    let mut s = DegradeState::new(DegradationLadder::amortized());
+    let ms = SimTime::from_millis;
+    s.decide(ms(0), 130e3, false, true); // below the gaussian floor -> keypoints
+    assert_eq!(s.level(), 2);
+    s.set_prebuild_ready(true);
+    assert_eq!(s.decide(ms(100), 300e3, false, false), 2, "window just started");
+    assert_eq!(s.decide(ms(700), 300e3, false, false), 2, "deltas cannot enter the chain");
+    assert_eq!(s.decide(ms(733), 300e3, false, true), 1, "keyframe admits the climb");
+    assert!(!s.self_contained(), "gaussian updates ride a delta chain");
+}
+
+/// The gaussian sweep is as replayable as the rest of the matrix — and
+/// additive: the base scenario report is byte-for-byte unchanged by the
+/// four-tier ladder existing.
+#[test]
+fn the_gaussian_sweep_is_byte_identical_and_additive() {
+    let a = run_gaussian_scenarios(42);
+    let b = run_gaussian_scenarios(42);
+    assert_eq!(a.len(), 2, "prebuilt + cold cells");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_json().render(), y.to_json().render());
+    }
+    let mut base = run_scenarios(42);
+    let base_bytes = base.render();
+    base.gaussian = run_gaussian_scenarios(42);
+    let extended = base.render();
+    assert_ne!(base_bytes, extended);
+    assert!(
+        extended.starts_with(&base_bytes[..base_bytes.len() - 1]),
+        "gaussian section must extend the report, not rewrite it"
+    );
 }
 
 /// Same seed, same bytes — across the *entire* matrix: every stream

@@ -45,7 +45,10 @@ fn every_truncation_of_every_corpus_item_is_survived() {
 #[test]
 fn strict_formats_reject_every_truncation() {
     for target in registry(SEED) {
-        if !matches!(target.name, "net.wire_frame" | "body.pose_payload" | "core.raw_mesh") {
+        if !matches!(
+            target.name,
+            "net.wire_frame" | "body.pose_payload" | "core.raw_mesh" | "gaussian.prebuild"
+        ) {
             continue;
         }
         for item in &target.corpus {
@@ -84,6 +87,44 @@ fn seeded_bit_flips_never_panic_and_crc_catches_all() {
             }
         }
     }
+}
+
+/// The gaussian tier's wire path end to end: a real keyframe rides a
+/// `GaussianUpdate` envelope, every single-bit flip of that envelope is
+/// caught by the CRC, and the naked update stream survives truncation
+/// and garbage without panicking.
+#[test]
+fn gaussian_update_frames_survive_the_hostile_wire() {
+    let targets = registry(SEED);
+    let update = targets
+        .iter()
+        .find(|t| t.name == "gaussian.update")
+        .expect("gaussian.update registered");
+    let key = update.corpus.first().expect("corpus has a keyframe");
+
+    let envelope = WireFrame::new(PayloadKind::GaussianUpdate, 3, Bytes::from(key.clone()));
+    let decoded = WireFrame::decode(&envelope.encode()).expect("own encoding decodes");
+    assert!(matches!(decoded.kind, PayloadKind::GaussianUpdate));
+    assert_eq!(decoded.payload.as_ref(), &key[..]);
+    let encoded = envelope.encode();
+    for bit in 0..encoded.len() * 8 {
+        let mut flipped = encoded.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        assert!(
+            WireFrame::decode(&flipped).is_err(),
+            "gaussian envelope accepted a flip of bit {bit}"
+        );
+    }
+
+    for cut in 0..key.len() {
+        let _ = (update.decode)(&key[..cut]);
+    }
+    assert!((update.decode)(&[0xDE; 64]).is_err(), "update decoder accepted garbage");
+    let prebuild = targets
+        .iter()
+        .find(|t| t.name == "gaussian.prebuild")
+        .expect("gaussian.prebuild registered");
+    assert!((prebuild.decode)(&[0xDE; 64]).is_err(), "prebuild decoder accepted garbage");
 }
 
 /// The typed taxonomy is load-bearing: specific corruptions land in
