@@ -1,0 +1,88 @@
+//! **UEP dominance** — what importance-weighted protection buys over
+//! uniform protection at an equal redundancy budget.
+//!
+//! Runs the full weighted-vs-uniform sweep (`holo-chaos::uep`) in
+//! seeded virtual time and embeds the measured usable-frame rates in
+//! the benchmark names, so `BENCH_uep_dominance.json` records the
+//! head-to-head alongside the timings. The budget twins are asserted
+//! here too: both policies must spend identical parity frames and
+//! scheduled retries, or the comparison is meaningless.
+
+use holo_bench::{report, report_header};
+use holo_chaos::{run_uep_scenarios, run_uep_stream_scenario, FaultPlan, StreamConfig};
+use holo_net::wire::PayloadKind;
+use holo_runtime::bench::Criterion;
+use holo_runtime::{bench_group, bench_main};
+use holo_uep::UepPolicy;
+use std::hint::black_box;
+
+fn uep_dominance(c: &mut Criterion) {
+    let seed = 42;
+
+    report_header("UEP dominance: weighted vs uniform at an equal redundancy budget");
+    let cells = run_uep_scenarios(seed);
+    let mut strict = 0usize;
+    let mut dominates = true;
+    for pair in cells.chunks(2) {
+        let (u, w) = (&pair[0], &pair[1]);
+        assert_eq!(u.parity_frames, w.parity_frames, "{}: parity budgets differ", u.plan);
+        assert_eq!(u.retries_scheduled, w.retries_scheduled, "{}: retry budgets differ", u.plan);
+        if w.usable > u.usable {
+            strict += 1;
+        }
+        if w.usable < u.usable {
+            dominates = false;
+        }
+        report(&format!(
+            "{:<20} uniform usable {:>5.3} | weighted usable {:>5.3} (abandoned {:>2}, lost {:>2})",
+            u.plan, u.usable_rate, w.usable_rate, w.abandoned, w.lost,
+        ));
+    }
+    report(&format!(
+        "weighted dominates: {dominates}, strictly better in {strict}/{} plans",
+        cells.len() / 2,
+    ));
+
+    let mut group = c.benchmark_group("uep_dominance");
+    group.sample_size(10);
+    // Record the measured usable rates in the report JSON via the
+    // bench names (milli-usable-rate keeps the names integral).
+    for o in &cells {
+        let permille = (o.usable_rate * 1000.0).round() as u64;
+        group.bench_function(
+            format!("usable_permille/{}/{}={}", o.plan, o.policy, permille),
+            |b| b.iter(|| black_box(permille)),
+        );
+    }
+    group.bench_function(format!("dominates={}", u8::from(dominates)), |b| {
+        b.iter(|| black_box(dominates))
+    });
+    group.bench_function(format!("strict_wins={strict}"), |b| b.iter(|| black_box(strict)));
+    // Honest timings: the queue-pressure cell under both policies.
+    let cfg = StreamConfig::default();
+    let squeeze = FaultPlan::burst5_squeeze(seed);
+    group.bench_function("stream_squeeze_uniform", |b| {
+        b.iter(|| {
+            black_box(run_uep_stream_scenario(
+                &squeeze,
+                &UepPolicy::uniform(),
+                &cfg,
+                PayloadKind::Mesh,
+            ))
+        })
+    });
+    group.bench_function("stream_squeeze_weighted", |b| {
+        b.iter(|| {
+            black_box(run_uep_stream_scenario(
+                &squeeze,
+                &UepPolicy::weighted(),
+                &cfg,
+                PayloadKind::Mesh,
+            ))
+        })
+    });
+    group.finish();
+}
+
+bench_group!(benches, uep_dominance);
+bench_main!(benches);

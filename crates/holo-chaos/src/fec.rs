@@ -23,6 +23,48 @@ pub struct FecConfig {
     pub r: usize,
 }
 
+/// Why a [`FecConfig`] failed [`FecConfig::validate`]: the typed
+/// taxonomy (variants, a stable [`kind`](FecError::kind), `Display`,
+/// `std::error::Error` — same shape as `holo_runtime::ser::DecodeError`
+/// and `holo_uep::PolicyError`) that replaced the stringly
+/// `Result<(), String>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FecError {
+    /// `k == 0`: a group with no data frames protects nothing.
+    NoDataFrames,
+    /// `r` outside `1..=k`: zero parity is "no FEC", and more parity
+    /// than data cannot form the interleaved stripes.
+    ParityOutOfRange {
+        /// Data frames per group.
+        k: usize,
+        /// Parity frames per group.
+        r: usize,
+    },
+}
+
+impl FecError {
+    /// Stable lowercase tag (report keys, counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FecError::NoDataFrames => "no_data_frames",
+            FecError::ParityOutOfRange { .. } => "parity_out_of_range",
+        }
+    }
+}
+
+impl std::fmt::Display for FecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FecError::NoDataFrames => write!(f, "FEC needs k >= 1 data frames per group"),
+            FecError::ParityOutOfRange { k, r } => {
+                write!(f, "FEC parity count r={r} must be in 1..=k={k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FecError {}
+
 impl FecConfig {
     /// The classic light-overhead rate from the acceptance criteria.
     pub fn k4r1() -> Self {
@@ -35,12 +77,12 @@ impl FecConfig {
     }
 
     /// Structural checks: at least one data frame, `1 <= r <= k`.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), FecError> {
         if self.k == 0 {
-            return Err("FEC needs k >= 1 data frames per group".into());
+            return Err(FecError::NoDataFrames);
         }
         if self.r == 0 || self.r > self.k {
-            return Err(format!("FEC parity count r={} must be in 1..=k={}", self.r, self.k));
+            return Err(FecError::ParityOutOfRange { k: self.k, r: self.r });
         }
         Ok(())
     }
@@ -116,10 +158,65 @@ mod tests {
     #[test]
     fn config_validates() {
         assert!(FecConfig::k4r1().validate().is_ok());
-        assert!(FecConfig { k: 0, r: 1 }.validate().is_err());
-        assert!(FecConfig { k: 4, r: 0 }.validate().is_err());
-        assert!(FecConfig { k: 4, r: 5 }.validate().is_err());
+        assert_eq!(FecConfig { k: 0, r: 1 }.validate().unwrap_err(), FecError::NoDataFrames);
+        assert_eq!(
+            FecConfig { k: 4, r: 0 }.validate().unwrap_err(),
+            FecError::ParityOutOfRange { k: 4, r: 0 }
+        );
+        let err = FecConfig { k: 4, r: 5 }.validate().unwrap_err();
+        assert_eq!(err, FecError::ParityOutOfRange { k: 4, r: 5 });
+        // Display keeps the historical message; kind() is the stable tag.
+        assert_eq!(err.to_string(), "FEC parity count r=5 must be in 1..=k=4");
+        assert_eq!(err.kind(), "parity_out_of_range");
+        assert_eq!(FecError::NoDataFrames.kind(), "no_data_frames");
+        let _: &dyn std::error::Error = &err;
         assert!((FecConfig::k4r1().overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_r_clamps_to_one_stripe_everywhere() {
+        // Both the codec and the accounting clamp r=0 to 1 rather than
+        // dividing by zero: one parity, one stripe.
+        let blocks: Vec<Vec<u8>> = (0u8..4).map(|i| vec![i; 4]).collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        assert_eq!(parity_blocks(&refs, 0), parity_blocks(&refs, 1));
+        assert_eq!(
+            recoverable(&[true, false, true, true], &[true], 0),
+            recoverable(&[true, false, true, true], &[true], 1)
+        );
+    }
+
+    #[test]
+    fn all_lost_stripe_recovers_nothing() {
+        // Every data frame of the stripe is gone: parity alone cannot
+        // disambiguate k >= 2 losses.
+        let out = recoverable(&[false, false, false, false], &[true], 1);
+        assert_eq!(out, vec![false, false, false, false]);
+        // Same with interleaving: both stripes doubly lost.
+        let out = recoverable(&[false, false, false, false], &[true, true], 2);
+        assert_eq!(out, vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn parity_only_delivery_recovers_a_singleton_stripe() {
+        // k=1, r=1 is duplication: the stripe's single data frame is
+        // "exactly one loss", so the surviving parity copy rebuilds it.
+        // This is what holo-uep's Critical class (keyframe duplication)
+        // rides on.
+        assert_eq!(recoverable(&[false], &[true], 1), vec![true]);
+        // The byte codec agrees: parity of a singleton IS the block.
+        let block = [7u8, 11, 13];
+        let parity = parity_blocks(&[&block], 1);
+        assert_eq!(parity[0], block.to_vec());
+        assert_eq!(recover_stripe(&[], &parity[0]), block.to_vec());
+        // With k=2 the same "only parity arrived" situation is dead.
+        assert_eq!(recoverable(&[false, false], &[true], 1), vec![false, false]);
+    }
+
+    #[test]
+    fn empty_group_is_a_noop() {
+        assert_eq!(recoverable(&[], &[true], 1), Vec::<bool>::new());
+        assert!(parity_blocks(&[], 1)[0].is_empty());
     }
 
     #[test]

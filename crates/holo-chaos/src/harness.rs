@@ -239,8 +239,7 @@ pub fn run_stream_scenario(
                     slots[frame].recovered_retx = attempt > 0;
                 } else if let Some(rc) = &mechanisms.retransmit {
                     if attempt < rc.max_retries {
-                        let backoff = rc.rto.as_secs_f64() * rc.backoff.max(1.0).powi(attempt as i32);
-                        let retry_at = offer.at + Duration::from_secs_f64(backoff);
+                        let retry_at = offer.at + crate::retransmit::backoff_delay(rc, attempt);
                         heap.push(std::cmp::Reverse(Offer {
                             at: retry_at,
                             seq,

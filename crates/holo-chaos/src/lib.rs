@@ -26,8 +26,9 @@ pub mod harness;
 pub mod plan;
 pub mod report;
 pub mod retransmit;
+pub mod uep;
 
-pub use fec::FecConfig;
+pub use fec::{FecConfig, FecError};
 pub use harness::{
     gaussian_squeeze_plan, room_collapse_plan, run_gaussian_room_scenario,
     run_gaussian_scenarios, run_room_scenario, run_scenarios, run_session_scenario,
@@ -36,5 +37,7 @@ pub use harness::{
 pub use plan::{ChurnEvent, FaultPlan};
 pub use report::{
     GaussianRoomOutcome, ResilienceReport, RoomOutcome, SessionOutcome, StreamOutcome,
+    UepClassStats, UepOutcome,
 };
-pub use retransmit::{send_with_retransmit, RetransmitConfig, SendOutcome};
+pub use retransmit::{backoff_delay, send_with_retransmit, RetransmitConfig, SendOutcome};
+pub use uep::{run_uep_scenarios, run_uep_stream_scenario, uep_report, uep_sweep_plans};

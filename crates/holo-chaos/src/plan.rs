@@ -79,6 +79,19 @@ impl FaultPlan {
         Self::burst5(seed).named("burst5_corrupt").corrupt(0.0, f64::MAX, 0.03)
     }
 
+    /// Burst loss on a link that also loses most of its headroom:
+    /// burst5's loss process plus capacity squeezed to 18% between
+    /// 1.0 s and 3.0 s. At the default stream config (~4.8 Mbps media
+    /// on 50 Mbps) the squeeze leaves ~9 Mbps — steady media plus
+    /// parity still fits, but every burst of losses triggers a storm
+    /// of retransmissions that transiently overloads the queue and
+    /// pushes *live* frames past their deadline. This is the scenario
+    /// deadline-aware abandonment exists for: retries of already-dead
+    /// deltas are pure queue poison here.
+    pub fn burst5_squeeze(seed: u64) -> Self {
+        Self::burst5(seed).named("burst5_squeeze").bandwidth(1.0, 3.0, 0.18)
+    }
+
     /// Room churn: participant `n-1` of an `n`-party room joins late
     /// and leaves early (window `[0.15, 0.35)` of a ~0.5 s run).
     pub fn churny(seed: u64, n: usize) -> Self {
@@ -180,6 +193,7 @@ mod tests {
         assert_eq!(FaultPlan::flapping(1).name, "flapping");
         assert_eq!(FaultPlan::bandwidth_collapse(1).name, "bandwidth_collapse");
         assert_eq!(FaultPlan::delay_spike(1).name, "delay_spike");
+        assert_eq!(FaultPlan::burst5_squeeze(1).name, "burst5_squeeze");
         assert_eq!(FaultPlan::churny(1, 3).name, "churny");
     }
 

@@ -173,6 +173,113 @@ impl ToJson for GaussianRoomOutcome {
     }
 }
 
+/// Per-importance-class accounting inside one UEP sweep cell.
+#[derive(Debug, Clone)]
+pub struct UepClassStats {
+    /// Class name (`critical`, `high`, `medium`, `low`).
+    pub class: String,
+    /// Frames of this class offered.
+    pub frames: usize,
+    /// Frames available after recovery (delivered, rebuilt, retried).
+    pub delivered: usize,
+    /// Frames usable: chain-decodable AND inside the render deadline.
+    pub usable: usize,
+    /// Frames whose remaining retries were abandoned past the
+    /// dependency horizon and never arrived. Counted apart from
+    /// `lost`: abandonment is a *decision*, not a failure.
+    pub abandoned: usize,
+    /// Frames that exhausted their schedule and never arrived.
+    pub lost: usize,
+}
+
+impl ToJson for UepClassStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("class", self.class.to_json()),
+            ("frames", self.frames.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("usable", self.usable.to_json()),
+            ("abandoned", self.abandoned.to_json()),
+            ("lost", self.lost.to_json()),
+        ])
+    }
+}
+
+/// One unequal-protection sweep cell: a fault plan × a
+/// `holo_uep::UepPolicy`, run through the class-aware scheduler.
+/// Deadlines matter here: `usable` demands timeliness, which the
+/// class-blind `StreamOutcome.usable` never did.
+#[derive(Debug, Clone)]
+pub struct UepOutcome {
+    /// Fault plan name.
+    pub plan: String,
+    /// Policy name (`uniform` or `weighted`).
+    pub policy: String,
+    /// Frames offered.
+    pub frames: usize,
+    /// Frames available after recovery.
+    pub delivered: usize,
+    /// Frames chain-decodable regardless of when they arrived.
+    pub decodable: usize,
+    /// Frames chain-decodable within the render deadline.
+    pub usable: usize,
+    /// `usable / frames`.
+    pub usable_rate: f64,
+    /// Decodable but past the deadline (`decodable - usable`).
+    pub late: usize,
+    /// Frames abandoned past the dependency horizon, never delivered.
+    /// Always reported apart from `lost`; `delivered + abandoned +
+    /// lost == frames` holds in every cell.
+    pub abandoned: usize,
+    /// Frames that exhausted their schedule and never arrived.
+    pub lost: usize,
+    /// Lost frames rebuilt from per-class FEC parity.
+    pub recovered_fec: usize,
+    /// Frames delivered only thanks to retransmission.
+    pub recovered_retx: usize,
+    /// Corrupted-and-dropped envelopes (CRC detections).
+    pub corrupt_detected: usize,
+    /// Parity frames actually emitted — the FEC half of the budget.
+    pub parity_frames: usize,
+    /// Retry slots the policy allowed — the retransmit half.
+    pub retries_scheduled: u64,
+    /// Retries actually offered to the wire.
+    pub retries_sent: u64,
+    /// Retry slots declined by deadline-aware abandonment.
+    pub retries_abandoned: u64,
+    /// Total wire bytes (payloads, envelopes, UEP tags, parity,
+    /// retransmissions) — tagged policies pay their header tax here.
+    pub wire_bytes: u64,
+    /// Per-class breakdown, in class order.
+    pub classes: Vec<UepClassStats>,
+}
+
+impl ToJson for UepOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("plan", self.plan.to_json()),
+            ("policy", self.policy.to_json()),
+            ("frames", self.frames.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("decodable", self.decodable.to_json()),
+            ("usable", self.usable.to_json()),
+            ("usable_rate", self.usable_rate.to_json()),
+            ("late", self.late.to_json()),
+            ("abandoned", self.abandoned.to_json()),
+            ("lost", self.lost.to_json()),
+            ("recovered_fec", self.recovered_fec.to_json()),
+            ("recovered_retx", self.recovered_retx.to_json()),
+            ("corrupt_detected", self.corrupt_detected.to_json()),
+            ("parity_frames", self.parity_frames.to_json()),
+            ("retries_scheduled", self.retries_scheduled.to_json()),
+            ("retries_sent", self.retries_sent.to_json()),
+            ("retries_abandoned", self.retries_abandoned.to_json()),
+            ("wire_bytes", self.wire_bytes.to_json()),
+            ("classes", self.classes.to_json()),
+        ])
+    }
+}
+
 /// The full matrix outcome.
 #[derive(Debug, Clone, Default)]
 pub struct ResilienceReport {
@@ -188,6 +295,10 @@ pub struct ResilienceReport {
     /// the gaussian sweep ran; omitted from the JSON when empty, so
     /// the base matrix renders byte-for-byte as before.
     pub gaussian: Vec<GaussianRoomOutcome>,
+    /// Unequal-protection sweep cells, in sweep order. Same
+    /// append-only contract as `gaussian`: empty unless the UEP sweep
+    /// ran, omitted from the JSON when empty.
+    pub uep: Vec<UepOutcome>,
 }
 
 impl ResilienceReport {
@@ -206,6 +317,9 @@ impl ResilienceReport {
         ];
         if !self.gaussian.is_empty() {
             fields.push(("gaussian", self.gaussian.to_json()));
+        }
+        if !self.uep.is_empty() {
+            fields.push(("uep", self.uep.to_json()));
         }
         JsonValue::obj(fields)
     }
@@ -274,6 +388,16 @@ impl ResilienceReport {
                 ),
                 spec.evaluate_summary(&summary),
             ));
+        }
+        for u in &self.uep {
+            // UEP cells already enforce timeliness in `usable`, so the
+            // spec's usable-rate floor judges the deadline-aware count.
+            let summary = holo_obs::SloSummary {
+                frames_expected: u.frames as u64,
+                frames_usable: u.usable as u64,
+                ..Default::default()
+            };
+            out.push((format!("uep/{}/{}", u.plan, u.policy), spec.evaluate_summary(&summary)));
         }
         out
     }
@@ -344,6 +468,7 @@ mod tests {
                 kept_flowing: true,
             }],
             gaussian: Vec::new(),
+            uep: Vec::new(),
         };
         let s = report.render();
         for key in [
@@ -425,5 +550,58 @@ mod tests {
         let (name, v) = &verdicts[verdicts.len() - 1];
         assert_eq!(name, "gaussian/gaussian_squeeze/cold");
         assert!(v.skipped.contains(&"tier:gaussian".to_string()));
+    }
+
+    #[test]
+    fn uep_section_renders_only_when_present() {
+        let mut report = ResilienceReport { seed: 9, ..Default::default() };
+        let base = report.render();
+        assert!(!base.contains("\"uep\""), "empty sweep must be invisible");
+
+        report.uep.push(UepOutcome {
+            plan: "burst5".into(),
+            policy: "weighted".into(),
+            frames: 150,
+            delivered: 144,
+            decodable: 141,
+            usable: 138,
+            usable_rate: 138.0 / 150.0,
+            late: 3,
+            abandoned: 4,
+            lost: 2,
+            recovered_fec: 5,
+            recovered_retx: 11,
+            corrupt_detected: 0,
+            parity_frames: 37,
+            retries_scheduled: 450,
+            retries_sent: 19,
+            retries_abandoned: 6,
+            wire_bytes: 4_100_000,
+            classes: vec![UepClassStats {
+                class: "critical".into(),
+                frames: 15,
+                delivered: 15,
+                usable: 15,
+                abandoned: 0,
+                lost: 0,
+            }],
+        });
+        let with = report.render();
+        // Strictly appended: base bytes untouched.
+        assert!(with.starts_with(&base[..base.len() - 1]));
+        assert!(with.contains("retries_abandoned"));
+        holo_runtime::ser::parse(&with).expect("canonical JSON parses");
+
+        // The accounting invariant the acceptance criteria demand:
+        // abandoned frames live beside losses, never inside them.
+        let u = &report.uep[0];
+        assert_eq!(u.delivered + u.abandoned + u.lost, u.frames);
+
+        // UEP cells join the SLO verdict sweep under their own names.
+        let spec = holo_obs::SloSpec::telepresence();
+        let verdicts = report.slo_verdicts(&spec);
+        let (name, v) = verdicts.last().unwrap();
+        assert_eq!(name, "uep/burst5/weighted");
+        assert!(v.checks.iter().any(|c| c.objective == "usable_rate"));
     }
 }

@@ -28,6 +28,21 @@ impl Default for RetransmitConfig {
     }
 }
 
+/// Delay before retry number `attempt + 1`: `rto * backoff^attempt`,
+/// clamped so the conversion to `Duration` can never panic. Backoff
+/// multipliers below 1 are lifted to 1 (a shrinking schedule is a
+/// typo, not a strategy), NaN lifts to 1 the same way, the exponent is
+/// capped, and the delay saturates at one virtual hour — far beyond
+/// any stream this workspace simulates, but finite, so a hostile
+/// `backoff` or a large `max_retries` degrades to "retry hourly"
+/// instead of `Duration::from_secs_f64` aborting the process.
+pub fn backoff_delay(config: &RetransmitConfig, attempt: u32) -> Duration {
+    const MAX_DELAY_SECS: f64 = 3600.0;
+    let factor = config.backoff.max(1.0).powi(attempt.min(64) as i32);
+    let secs = (config.rto.as_secs_f64() * factor).min(MAX_DELAY_SECS);
+    Duration::from_secs_f64(secs)
+}
+
 /// Outcome of one frame offered under the retransmit schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SendOutcome {
@@ -70,8 +85,7 @@ pub fn send_with_retransmit(
             };
         }
         if let Some(c) = config {
-            let timeout = c.rto.as_secs_f64() * c.backoff.max(1.0).powi(attempt as i32);
-            offer_at += Duration::from_secs_f64(timeout);
+            offer_at += backoff_delay(c, attempt);
         }
     }
     SendOutcome { delivered_at: None, attempts: max_attempts, wire_bytes }
@@ -140,6 +154,53 @@ mod tests {
         assert_eq!(out.attempts, 5);
         assert!(out.delivered_at.is_none());
         assert!(out.wire_bytes > 0, "failed attempts still burned wire bytes");
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_panicking() {
+        // A 200-retry budget walks the exponent far past anything
+        // rto * 2^attempt can represent; the schedule must saturate,
+        // not abort in Duration::from_secs_f64.
+        let mut link = quiet_link(100e6, 1);
+        link.set_fault(FaultClock::new(Some(LossModel::Bernoulli { rate: 1.0 }), Vec::new(), 2));
+        let mut t = FrameTransport::new(link, LossPolicy::DropFrame);
+        let cfg = RetransmitConfig { max_retries: 200, ..Default::default() };
+        let out = send_with_retransmit(&mut t, 20_000, SimTime::ZERO, Some(&cfg));
+        assert_eq!(out.attempts, 201);
+        assert!(out.delivered_at.is_none());
+
+        // Hostile configs degrade to the hourly cap, never to a panic.
+        let hostile = [
+            RetransmitConfig { backoff: f64::MAX, ..Default::default() },
+            RetransmitConfig { backoff: f64::INFINITY, ..Default::default() },
+            RetransmitConfig { backoff: f64::NAN, ..Default::default() },
+            RetransmitConfig { backoff: -3.0, ..Default::default() },
+            RetransmitConfig { rto: Duration::from_secs(u32::MAX as u64), ..Default::default() },
+        ];
+        for cfg in &hostile {
+            for attempt in [0, 1, 31, 64, 65, u32::MAX] {
+                let d = backoff_delay(cfg, attempt);
+                assert!(d <= Duration::from_secs(3600), "{cfg:?} attempt {attempt} -> {d:?}");
+            }
+        }
+        // NaN and sub-1 multipliers behave as backoff = 1 (flat RTO).
+        let flat = RetransmitConfig { backoff: f64::NAN, ..Default::default() };
+        assert_eq!(backoff_delay(&flat, 7), flat.rto);
+        let shrink = RetransmitConfig { backoff: 0.5, ..Default::default() };
+        assert_eq!(backoff_delay(&shrink, 3), shrink.rto);
+
+        // The sane default schedule is untouched by the clamps.
+        let dflt = RetransmitConfig::default();
+        assert_eq!(backoff_delay(&dflt, 0), Duration::from_millis(50));
+        assert_eq!(backoff_delay(&dflt, 1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(&dflt, 2), Duration::from_millis(200));
+        // Monotone non-decreasing across the whole attempt range.
+        let mut prev = Duration::ZERO;
+        for attempt in 0..300 {
+            let d = backoff_delay(&dflt, attempt);
+            assert!(d >= prev);
+            prev = d;
+        }
     }
 
     #[test]

@@ -38,6 +38,26 @@ impl FrameTag {
     }
 }
 
+/// Number of frames that transitively depend on frame `index` under a
+/// keyframe cadence of `interval` in a stream of `total` frames: the
+/// frames after it in the same GOP. Losing a keyframe poisons its
+/// whole GOP (`interval - 1` descendants); the last delta before the
+/// next key has zero — nothing downstream is lost by abandoning its
+/// retransmission once its own render deadline passes. This is the
+/// dependency-depth signal `holo-uep` ranks importance classes by.
+pub fn gop_descendants(index: usize, interval: usize, total: usize) -> usize {
+    if index >= total {
+        return 0;
+    }
+    if interval <= 1 {
+        // Every frame is a keyframe: nothing depends on anything.
+        return 0;
+    }
+    let gop_start = index - index % interval;
+    let gop_end = (gop_start + interval).min(total);
+    gop_end - index - 1
+}
+
 /// One frame of one sender's uplink stream, as the SFU sees it.
 #[derive(Debug, Clone)]
 pub struct StreamFrame {
@@ -112,6 +132,43 @@ mod tests {
         // interval <= 1: all keyframes.
         assert_eq!(FrameTag::for_index(3, 1), FrameTag::Key);
         assert_eq!(FrameTag::for_index(3, 0), FrameTag::Key);
+    }
+
+    #[test]
+    fn descendant_counts_follow_the_gop() {
+        // interval 10: key at 0 carries the other 9; the last delta
+        // before the next key carries nothing.
+        assert_eq!(gop_descendants(0, 10, 150), 9);
+        assert_eq!(gop_descendants(1, 10, 150), 8);
+        assert_eq!(gop_descendants(9, 10, 150), 0);
+        assert_eq!(gop_descendants(10, 10, 150), 9, "next GOP restarts the count");
+        // A truncated final GOP only carries what actually exists.
+        assert_eq!(gop_descendants(140, 10, 145), 4);
+        assert_eq!(gop_descendants(144, 10, 145), 0);
+        // All-keyframe streams have no dependencies at all.
+        assert_eq!(gop_descendants(3, 1, 150), 0);
+        assert_eq!(gop_descendants(3, 0, 150), 0);
+        // Out of range is harmless.
+        assert_eq!(gop_descendants(150, 10, 150), 0);
+        // The count is exactly the poison window DependencyTracker
+        // enforces: lose frame i, everything until the next key dies.
+        let interval = 5;
+        let total = 17;
+        for lost in 0..total {
+            let mut dep = DependencyTracker::new();
+            let mut poisoned_after = 0usize;
+            for i in 0..total {
+                let tag = FrameTag::for_index(i, interval);
+                if !dep.advance(i, tag, i != lost) && i > lost {
+                    poisoned_after += 1;
+                }
+            }
+            assert_eq!(
+                poisoned_after,
+                gop_descendants(lost, interval, total),
+                "lost frame {lost}"
+            );
+        }
     }
 
     #[test]

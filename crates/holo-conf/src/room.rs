@@ -158,7 +158,7 @@ impl Room {
             return Err(SemHoloError::Config("room must run at least one frame".into()));
         }
         if let Some(ladder) = &config.ladder {
-            ladder.validate().map_err(SemHoloError::Config)?;
+            ladder.validate().map_err(|e| SemHoloError::Config(e.to_string()))?;
         }
         Ok(Self { config })
     }

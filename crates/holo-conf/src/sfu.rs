@@ -240,7 +240,9 @@ impl Sfu {
         let mut ports = Vec::with_capacity(n);
         for link in downlinks {
             let abr = match &ladder {
-                Some(l) => Some(AbrController::new(l.clone(), abr_safety)?),
+                Some(l) => {
+                    Some(AbrController::new(l.clone(), abr_safety).map_err(|e| e.to_string())?)
+                }
                 None => None,
             };
             ports.push(SubscriberPort::new(

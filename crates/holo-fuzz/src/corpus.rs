@@ -23,7 +23,7 @@ use holo_compress::texture::{Texture, TextureCodec};
 use holo_keypoints::posedelta::{PoseDeltaConfig, PoseDeltaEncoder};
 use holo_math::{Aabb, Pcg32, Quat, Vec3};
 use holo_mesh::trimesh::TriMesh;
-use holo_net::wire::{PayloadKind, WireFrame};
+use holo_net::wire::{ImportanceClass, PayloadKind, UepHeader, WireFrame};
 use holo_runtime::bytes::Bytes;
 use holo_textsem::caption::Caption;
 use holo_textsem::channels::GlobalChannel;
@@ -242,6 +242,61 @@ pub fn wire_corpus(seed: u64) -> Vec<Vec<u8>> {
     out
 }
 
+/// UEP-header corpus: one header per importance class with a valid
+/// random stripe geometry, plus the two boundary shapes the scheduler
+/// actually sends — an unprotected (`r = 0`) data frame and the
+/// degenerate duplication stripe (`k = 1, r = 1`) parity frame.
+pub fn uep_header_corpus(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = Pcg32::with_stream(seed, 0x0EB5);
+    let mut out = Vec::new();
+    for (i, class) in ImportanceClass::ALL.into_iter().enumerate() {
+        let k = 1 + rng.range_u32(9) as u8;
+        let r = 1 + rng.range_u32(k as u32) as u8;
+        let parity = i % 2 == 1;
+        let slots = if parity { r } else { k };
+        out.push(
+            UepHeader {
+                class,
+                parity,
+                abandonable: i >= 2,
+                k,
+                r,
+                group: rng.next_u32(),
+                index: rng.range_u32(slots as u32) as u8,
+                deadline_ms: 50 + rng.range_u32(400) as u16,
+            }
+            .encode(),
+        );
+    }
+    out.push(
+        UepHeader {
+            class: ImportanceClass::Low,
+            parity: false,
+            abandonable: true,
+            k: 1,
+            r: 0,
+            group: 0,
+            index: 0,
+            deadline_ms: 0,
+        }
+        .encode(),
+    );
+    out.push(
+        UepHeader {
+            class: ImportanceClass::Critical,
+            parity: true,
+            abandonable: false,
+            k: 1,
+            r: 1,
+            group: u32::MAX,
+            index: 0,
+            deadline_ms: u16::MAX,
+        }
+        .encode(),
+    );
+    out
+}
+
 /// Raw-mesh corpus (`core::traditional`'s uncompressed wire format).
 pub fn raw_mesh_corpus(seed: u64) -> Vec<Vec<u8>> {
     let mut rng = Pcg32::with_stream(seed, 0x2A37);
@@ -260,6 +315,8 @@ mod tests {
         assert_eq!(mesh_corpus(7), mesh_corpus(7));
         assert_ne!(mesh_corpus(7), mesh_corpus(8));
         assert_eq!(wire_corpus(7), wire_corpus(7));
+        assert_eq!(uep_header_corpus(7), uep_header_corpus(7));
+        assert_ne!(uep_header_corpus(7), uep_header_corpus(8));
         assert_eq!(posedelta_corpus(3), posedelta_corpus(3));
         assert_eq!(gaussian_prebuild_corpus(5), gaussian_prebuild_corpus(5));
         assert_ne!(gaussian_prebuild_corpus(5), gaussian_prebuild_corpus(6));
@@ -277,6 +334,7 @@ mod tests {
             delta_ops_corpus(1),
             pose_payload_corpus(1),
             wire_corpus(1),
+            uep_header_corpus(1),
             raw_mesh_corpus(1),
             gaussian_prebuild_corpus(1),
             gaussian_update_corpus(1).1,

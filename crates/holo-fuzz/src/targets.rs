@@ -133,6 +133,12 @@ pub fn registry(seed: u64) -> Vec<Target> {
             decode: Box::new(|d| holo_net::wire::WireFrame::decode(d).map(|_| ())),
         },
         Target {
+            name: "net.uep_header",
+            corpus: corpus::uep_header_corpus(seed),
+            alloc_cap: MIB,
+            decode: Box::new(|d| holo_net::wire::UepHeader::decode(d).map(|_| ())),
+        },
+        Target {
             name: "core.raw_mesh",
             corpus: corpus::raw_mesh_corpus(seed),
             alloc_cap: 32 * MIB,
@@ -148,7 +154,7 @@ mod tests {
     #[test]
     fn registry_covers_every_decoder() {
         let targets = registry(7);
-        assert!(targets.len() >= 13, "decoder went missing: {}", targets.len());
+        assert!(targets.len() >= 14, "decoder went missing: {}", targets.len());
         let mut names: Vec<&str> = targets.iter().map(|t| t.name).collect();
         names.sort_unstable();
         names.dedup();

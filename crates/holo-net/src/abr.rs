@@ -19,6 +19,49 @@ pub struct LadderRung {
     pub network_width: u32,
 }
 
+/// Why a [`Ladder`] failed [`Ladder::validate`]: the typed taxonomy
+/// (same shape as `holo_runtime::ser::DecodeError` — variants, a
+/// stable [`kind`](LadderError::kind), `Display`, `std::error::Error`)
+/// that replaced the stringly `Result<(), String>` the controller used
+/// to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderError {
+    /// The ladder has no rungs at all.
+    Empty,
+    /// A rung's bitrate does not strictly exceed its predecessor's.
+    BitratesNotAscending,
+    /// A rung's resolution does not strictly exceed its predecessor's.
+    ResolutionsNotAscending,
+    /// A rung's slimmable-network width does not strictly exceed its
+    /// predecessor's.
+    WidthsNotAscending,
+}
+
+impl LadderError {
+    /// Stable lowercase tag (report keys, counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LadderError::Empty => "empty",
+            LadderError::BitratesNotAscending => "bitrates_not_ascending",
+            LadderError::ResolutionsNotAscending => "resolutions_not_ascending",
+            LadderError::WidthsNotAscending => "widths_not_ascending",
+        }
+    }
+}
+
+impl std::fmt::Display for LadderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LadderError::Empty => write!(f, "ladder has no rungs"),
+            LadderError::BitratesNotAscending => write!(f, "ladder bitrates must ascend"),
+            LadderError::ResolutionsNotAscending => write!(f, "ladder resolutions must ascend"),
+            LadderError::WidthsNotAscending => write!(f, "ladder network widths must ascend"),
+        }
+    }
+}
+
+impl std::error::Error for LadderError {}
+
 /// An ordered set of quality levels (ascending bitrate).
 #[derive(Debug, Clone)]
 pub struct Ladder {
@@ -44,19 +87,19 @@ impl Ladder {
     /// slimmable-network width must all strictly ascend, or the
     /// controller's "highest rung that fits" search is meaningless (a
     /// higher-bitrate rung could deliver a *lower* resolution).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), LadderError> {
         if self.rungs.is_empty() {
-            return Err("ladder has no rungs".into());
+            return Err(LadderError::Empty);
         }
         for w in self.rungs.windows(2) {
             if w[1].bitrate_bps <= w[0].bitrate_bps {
-                return Err("ladder bitrates must ascend".into());
+                return Err(LadderError::BitratesNotAscending);
             }
             if w[1].resolution <= w[0].resolution {
-                return Err("ladder resolutions must ascend".into());
+                return Err(LadderError::ResolutionsNotAscending);
             }
             if w[1].network_width <= w[0].network_width {
-                return Err("ladder network widths must ascend".into());
+                return Err(LadderError::WidthsNotAscending);
             }
         }
         Ok(())
@@ -85,7 +128,7 @@ impl AbrController {
     /// Start at the lowest rung. Rejects ladders that fail
     /// [`Ladder::validate`] — a controller over a non-monotone ladder
     /// would silently make nonsensical up/down decisions.
-    pub fn new(ladder: Ladder, safety: f64) -> Result<Self, String> {
+    pub fn new(ladder: Ladder, safety: f64) -> Result<Self, LadderError> {
         ladder.validate()?;
         Ok(Self { ladder, safety: safety.clamp(0.1, 1.0), up_hysteresis: 3, current: 0, up_pending: 0 })
     }
@@ -140,12 +183,17 @@ mod tests {
         let mut rungs = Ladder::standard().rungs;
         rungs[1].resolution = rungs[0].resolution; // bitrate still ascends
         let bad_res = Ladder { rungs: rungs.clone() };
-        assert!(bad_res.validate().unwrap_err().contains("resolution"));
+        assert_eq!(bad_res.validate().unwrap_err(), LadderError::ResolutionsNotAscending);
 
         let mut rungs = Ladder::standard().rungs;
         rungs[2].network_width = 8; // below rung 1's width
         let bad_width = Ladder { rungs };
-        assert!(bad_width.validate().unwrap_err().contains("width"));
+        let err = bad_width.validate().unwrap_err();
+        assert_eq!(err, LadderError::WidthsNotAscending);
+        // Display keeps the historical message; kind() is the stable tag.
+        assert!(err.to_string().contains("width"));
+        assert_eq!(err.kind(), "widths_not_ascending");
+        assert_eq!(Ladder { rungs: vec![] }.validate().unwrap_err().kind(), "empty");
     }
 
     #[test]

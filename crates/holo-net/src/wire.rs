@@ -200,6 +200,185 @@ impl WireFrame {
     }
 }
 
+/// Semantic importance of one frame, as the unequal-protection
+/// scheduler (`holo-uep`) sees it. Lower discriminant = more
+/// important: the class decides how much of the fixed redundancy
+/// budget (FEC parity, retransmission slots) a frame may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ImportanceClass {
+    /// Keyframes and chain-resetting payloads: losing one poisons a
+    /// whole GOP.
+    Critical = 0,
+    /// Early deltas (most of the GOP still depends on them) and pose
+    /// channels.
+    High = 1,
+    /// Mid-GOP deltas: a loss poisons a bounded tail.
+    Medium = 2,
+    /// Deep deltas nothing depends on: stale the moment their render
+    /// deadline passes.
+    Low = 3,
+}
+
+impl ImportanceClass {
+    /// Parse the wire tag byte.
+    pub fn from_byte(b: u8) -> Result<Self, DecodeError> {
+        match b {
+            0 => Ok(ImportanceClass::Critical),
+            1 => Ok(ImportanceClass::High),
+            2 => Ok(ImportanceClass::Medium),
+            3 => Ok(ImportanceClass::Low),
+            other => Err(DecodeError::corrupt(
+                "uep class",
+                format!("unknown importance class {other}"),
+            )),
+        }
+    }
+
+    /// Stable lowercase label (report keys, counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            ImportanceClass::Critical => "critical",
+            ImportanceClass::High => "high",
+            ImportanceClass::Medium => "medium",
+            ImportanceClass::Low => "low",
+        }
+    }
+
+    /// All classes, most important first.
+    pub const ALL: [ImportanceClass; 4] = [
+        ImportanceClass::Critical,
+        ImportanceClass::High,
+        ImportanceClass::Medium,
+        ImportanceClass::Low,
+    ];
+}
+
+/// UEP header magic: `"UEP1"` little-endian.
+pub const UEP_MAGIC: u32 = 0x3150_4555;
+
+/// Fixed UEP header size: magic(4) + class(1) + flags(1) + k(1) +
+/// r(1) + group(4) + index(1) + deadline_ms(2) + crc(4).
+pub const UEP_HEADER_BYTES: usize = 19;
+
+/// Flag bit: this frame is FEC parity, not data.
+const UEP_FLAG_PARITY: u8 = 0b01;
+/// Flag bit: retransmissions of this frame may be abandoned once its
+/// render deadline (plus its descendants') has passed.
+const UEP_FLAG_ABANDONABLE: u8 = 0b10;
+
+/// The wire-visible class/stripe header the unequal-protection
+/// scheduler prepends to every protected frame. It tells any hop —
+/// without decoding the payload — which importance class the frame
+/// belongs to, which per-class FEC group and stripe slot it occupies,
+/// and whether the sender considers it abandonable past its deadline.
+///
+/// Strict codec in the `WireFrame` mould: its own magic, every field
+/// covered by a CRC32 (so a single flipped bit anywhere is detected),
+/// typed errors for truncation/corruption, trailing bytes rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UepHeader {
+    /// Importance class of the frame.
+    pub class: ImportanceClass,
+    /// Whether this frame is FEC parity for its group.
+    pub parity: bool,
+    /// Whether retransmissions may be abandoned past the deadline.
+    pub abandonable: bool,
+    /// Data frames per FEC group of this class (`>= 1`).
+    pub k: u8,
+    /// Parity frames per FEC group (`<= k`; 0 = unprotected class).
+    pub r: u8,
+    /// FEC group number within the class's stream.
+    pub group: u32,
+    /// Position within the group: `< k` for data, `< max(r, 1)` for
+    /// parity.
+    pub index: u8,
+    /// Render deadline, ms after capture (0 = no deadline).
+    pub deadline_ms: u16,
+}
+
+impl UepHeader {
+    fn flags(&self) -> u8 {
+        (if self.parity { UEP_FLAG_PARITY } else { 0 })
+            | (if self.abandonable { UEP_FLAG_ABANDONABLE } else { 0 })
+    }
+
+    /// Serialize the 19-byte header. The CRC covers everything after
+    /// the magic, so no field can silently morph into another valid
+    /// value.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(UEP_HEADER_BYTES);
+        out.extend_from_slice(&UEP_MAGIC.to_le_bytes());
+        out.push(self.class as u8);
+        out.push(self.flags());
+        out.push(self.k);
+        out.push(self.r);
+        out.extend_from_slice(&self.group.to_le_bytes());
+        out.push(self.index);
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify a header. Checksum first, semantics second:
+    /// a corrupted-but-plausible field never reaches the range checks.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut rd = ByteReader::new(data);
+        rd.expect_magic(UEP_MAGIC)?;
+        let class_byte = rd.u8()?;
+        let flags = rd.u8()?;
+        let k = rd.u8()?;
+        let r = rd.u8()?;
+        let group = rd.u32_le()?;
+        let index = rd.u8()?;
+        let deadline_ms = rd.u16_le()?;
+        let declared_crc = rd.u32_le()?;
+        if !rd.is_empty() {
+            return Err(DecodeError::corrupt(
+                "uep header",
+                format!("{} trailing bytes after header", rd.remaining()),
+            ));
+        }
+        let actual_crc = crc32(&data[4..UEP_HEADER_BYTES - 4]);
+        if actual_crc != declared_crc {
+            return Err(DecodeError::BadChecksum { expected: declared_crc, found: actual_crc });
+        }
+        let class = ImportanceClass::from_byte(class_byte)?;
+        if flags & !(UEP_FLAG_PARITY | UEP_FLAG_ABANDONABLE) != 0 {
+            return Err(DecodeError::corrupt(
+                "uep flags",
+                format!("unknown flag bits 0x{flags:02x}"),
+            ));
+        }
+        let parity = flags & UEP_FLAG_PARITY != 0;
+        let abandonable = flags & UEP_FLAG_ABANDONABLE != 0;
+        if k == 0 {
+            return Err(DecodeError::corrupt("uep fec", "k must be >= 1".to_string()));
+        }
+        if r > k {
+            return Err(DecodeError::corrupt(
+                "uep fec",
+                format!("parity count r={r} exceeds group size k={k}"),
+            ));
+        }
+        if parity && r == 0 {
+            return Err(DecodeError::corrupt(
+                "uep fec",
+                "parity frame in an unprotected (r=0) class".to_string(),
+            ));
+        }
+        let slot_limit = if parity { r.max(1) } else { k };
+        if index >= slot_limit {
+            return Err(DecodeError::corrupt(
+                "uep stripe",
+                format!("index {index} out of range for {} slot limit {slot_limit}",
+                    if parity { "parity" } else { "data" }),
+            ));
+        }
+        Ok(Self { class, parity, abandonable, k, r, group, index, deadline_ms })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +458,131 @@ mod tests {
         wire.push(0);
         let err = WireFrame::decode(&wire).unwrap_err();
         assert!(matches!(err, DecodeError::Corrupt { .. }), "{err:?}");
+    }
+
+    fn sample_uep() -> UepHeader {
+        UepHeader {
+            class: ImportanceClass::High,
+            parity: false,
+            abandonable: false,
+            k: 3,
+            r: 1,
+            group: 12,
+            index: 2,
+            deadline_ms: 150,
+        }
+    }
+
+    #[test]
+    fn uep_header_roundtrips() {
+        let cases = [
+            sample_uep(),
+            UepHeader {
+                class: ImportanceClass::Critical,
+                parity: true,
+                abandonable: false,
+                k: 1,
+                r: 1,
+                group: 0,
+                index: 0,
+                deadline_ms: 150,
+            },
+            UepHeader {
+                class: ImportanceClass::Low,
+                parity: false,
+                abandonable: true,
+                k: 10,
+                r: 0,
+                group: u32::MAX,
+                index: 9,
+                deadline_ms: 0,
+            },
+        ];
+        for h in cases {
+            let wire = h.encode();
+            assert_eq!(wire.len(), UEP_HEADER_BYTES);
+            assert_eq!(UepHeader::decode(&wire).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn uep_every_single_bit_flip_is_detected() {
+        let wire = sample_uep().encode();
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut corrupted = wire.clone();
+                corrupted[byte] ^= 1 << bit;
+                let got = UepHeader::decode(&corrupted);
+                assert!(
+                    got.is_err(),
+                    "flip at byte {byte} bit {bit} went undetected: {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uep_truncations_are_typed_errors() {
+        let wire = sample_uep().encode();
+        for cut in 0..wire.len() {
+            let err = UepHeader::decode(&wire[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uep_trailing_bytes_are_rejected() {
+        let mut wire = sample_uep().encode();
+        wire.push(0);
+        let err = UepHeader::decode(&wire).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn uep_semantic_garbage_is_rejected_after_the_checksum() {
+        // Re-CRC'd headers with in-range bytes but out-of-range
+        // semantics: the decoder must reject each with a typed error.
+        let reseal = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut wire = sample_uep().encode();
+            mutate(&mut wire);
+            let crc = crc32(&wire[4..UEP_HEADER_BYTES - 4]);
+            wire[UEP_HEADER_BYTES - 4..].copy_from_slice(&crc.to_le_bytes());
+            UepHeader::decode(&wire).unwrap_err()
+        };
+        // Unknown class.
+        assert!(matches!(reseal(&|w| w[4] = 9), DecodeError::Corrupt { .. }));
+        // Unknown flag bits.
+        assert!(matches!(reseal(&|w| w[5] = 0x80), DecodeError::Corrupt { .. }));
+        // k = 0.
+        assert!(matches!(reseal(&|w| w[6] = 0), DecodeError::Corrupt { .. }));
+        // r > k.
+        assert!(matches!(reseal(&|w| w[7] = 200), DecodeError::Corrupt { .. }));
+        // Data index out of range (k=3 -> index must be < 3).
+        assert!(matches!(reseal(&|w| w[12] = 3), DecodeError::Corrupt { .. }));
+        // Parity frame in an unprotected class (flags=parity, r=0).
+        assert!(matches!(
+            reseal(&|w| {
+                w[5] = 0b01;
+                w[7] = 0;
+            }),
+            DecodeError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn importance_classes_roundtrip_and_order() {
+        for class in ImportanceClass::ALL {
+            assert_eq!(ImportanceClass::from_byte(class as u8).unwrap(), class);
+            assert!(!class.name().is_empty());
+        }
+        assert!(ImportanceClass::from_byte(4).is_err());
+        // Lower discriminant = more important; Ord follows the wire tag.
+        assert!(ImportanceClass::Critical < ImportanceClass::High);
+        assert!(ImportanceClass::High < ImportanceClass::Medium);
+        assert!(ImportanceClass::Medium < ImportanceClass::Low);
     }
 
     #[test]

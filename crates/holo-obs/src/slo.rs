@@ -259,11 +259,16 @@ pub struct SloVerdict {
 }
 
 impl SloVerdict {
-    fn new(spec: &str) -> Self {
+    /// An empty verdict for `spec` — downstream crates (e.g.
+    /// `holo-chaos`'s unequal-protection sweep) build their own
+    /// verdicts with the same check vocabulary instead of reinventing
+    /// pass/fail bookkeeping.
+    pub fn new(spec: &str) -> Self {
         Self { spec: spec.to_string(), checks: Vec::new(), skipped: Vec::new() }
     }
 
-    fn check_le(&mut self, objective: &str, actual: f64, limit: f64) {
+    /// Record an upper-bound objective: passes when `actual <= limit`.
+    pub fn check_le(&mut self, objective: &str, actual: f64, limit: f64) {
         self.checks.push(SloCheck {
             objective: objective.to_string(),
             actual,
@@ -273,7 +278,8 @@ impl SloVerdict {
         });
     }
 
-    fn check_ge(&mut self, objective: &str, actual: f64, limit: f64) {
+    /// Record a lower-bound objective: passes when `actual >= limit`.
+    pub fn check_ge(&mut self, objective: &str, actual: f64, limit: f64) {
         self.checks.push(SloCheck {
             objective: objective.to_string(),
             actual,
@@ -283,7 +289,9 @@ impl SloVerdict {
         });
     }
 
-    fn skip(&mut self, objective: &str) {
+    /// Record an objective the input had no datum for — reported as
+    /// skipped, never silently passed.
+    pub fn skip(&mut self, objective: &str) {
         self.skipped.push(objective.to_string());
     }
 

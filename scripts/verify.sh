@@ -17,7 +17,7 @@ cargo test -q --offline --workspace
 echo "==> example smoke runs (SEMHOLO_EXAMPLE_QUICK=1)"
 for example in quickstart remote_collaboration telesurgery \
     semantic_taxonomy_report conference_capacity fleet_capacity \
-    chaos_recovery fuzz_sweep gaussian_amortization; do
+    chaos_recovery fuzz_sweep gaussian_amortization uep_comparison; do
   echo "--> example: ${example}"
   SEMHOLO_EXAMPLE_QUICK=1 \
     cargo run -q --release --offline --example "${example}" >/dev/null
@@ -87,6 +87,15 @@ cmp /tmp/semholo_gauss_run1.json BENCH_gaussian_amortization.json
 cmp /tmp/semholo_frontier_run1.json GAUSSIAN_frontier.json
 rm -f /tmp/semholo_gauss_run1.json /tmp/semholo_frontier_run1.json
 
+echo "==> uep smoke: weighted-vs-uniform sweep, twice, byte-identical"
+cargo run -q --release --offline --example uep_comparison >/dev/null
+mv UEP_report.json /tmp/semholo_uep_run1.json
+cargo run -q --release --offline --example uep_comparison >/dev/null
+# The dominance document is seeded virtual time end to end: same seed,
+# same bytes — verdicts, budgets, and per-class tallies included.
+cmp /tmp/semholo_uep_run1.json UEP_report.json
+rm -f /tmp/semholo_uep_run1.json
+
 echo "==> cross-thread gate: SEMHOLO_THREADS=1 vs =8, byte-identical"
 # The fork-join pool's contract (DESIGN.md §10): thread count changes
 # wall-clock time only, never bytes. Run the chaos matrix and the fuzz
@@ -128,12 +137,22 @@ SEMHOLO_EXAMPLE_QUICK=1 SEMHOLO_THREADS=8 \
   cargo run -q --release --offline --example gaussian_amortization >/dev/null
 cmp /tmp/semholo_gauss_t1.json BENCH_gaussian_amortization.json
 rm -f /tmp/semholo_gauss_t1.json
+# UEP: the sweep fans plan x policy cells across the pool; the
+# dominance verdicts must not know how many workers judged them.
+SEMHOLO_THREADS=1 \
+  cargo run -q --release --offline --example uep_comparison >/dev/null
+mv UEP_report.json /tmp/semholo_uep_t1.json
+SEMHOLO_THREADS=8 \
+  cargo run -q --release --offline --example uep_comparison >/dev/null
+cmp /tmp/semholo_uep_t1.json UEP_report.json
+rm -f /tmp/semholo_uep_t1.json
 
 if command -v cargo-clippy >/dev/null 2>&1; then
-  echo "==> cargo clippy -p holo-runtime -p holo-trace -p holo-chaos -p holo-fuzz -- -D warnings"
+  echo "==> cargo clippy -p holo-runtime -p holo-trace -p holo-chaos -p holo-uep -p holo-fuzz -- -D warnings"
   cargo clippy -q --offline -p holo-runtime --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-trace --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-chaos --no-deps --all-targets -- -D warnings
+  cargo clippy -q --offline -p holo-uep --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fuzz --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-fleet --no-deps --all-targets -- -D warnings
   cargo clippy -q --offline -p holo-obs --no-deps --all-targets -- -D warnings

@@ -47,7 +47,11 @@ fn strict_formats_reject_every_truncation() {
     for target in registry(SEED) {
         if !matches!(
             target.name,
-            "net.wire_frame" | "body.pose_payload" | "core.raw_mesh" | "gaussian.prebuild"
+            "net.wire_frame"
+                | "net.uep_header"
+                | "body.pose_payload"
+                | "core.raw_mesh"
+                | "gaussian.prebuild"
         ) {
             continue;
         }
@@ -74,14 +78,15 @@ fn seeded_bit_flips_never_panic_and_crc_catches_all() {
             let (mutant, _) = mutator.next_mutant(&target.corpus);
             let _ = (target.decode)(&mutant);
         }
-        if target.name == "net.wire_frame" {
+        if matches!(target.name, "net.wire_frame" | "net.uep_header") {
             for item in &target.corpus {
                 for bit in 0..item.len() * 8 {
                     let mut flipped = item.clone();
                     flipped[bit / 8] ^= 1 << (bit % 8);
                     assert!(
                         (target.decode)(&flipped).is_err(),
-                        "wire frame accepted a flip of bit {bit}"
+                        "{} accepted a flip of bit {bit}",
+                        target.name
                     );
                 }
             }
@@ -156,6 +161,56 @@ fn decode_errors_carry_their_taxonomy() {
         }
         other => panic!("expected LimitExceeded, got {other:?}"),
     }
+}
+
+/// The UEP header's taxonomy under targeted forgeries: semantically
+/// absurd stripe geometry must be caught even when the CRC is honestly
+/// recomputed over the forged fields (an attacker controls the whole
+/// 19 bytes, so the CRC alone proves nothing about semantics).
+#[test]
+fn uep_header_rejects_honestly_checksummed_forgeries() {
+    use holo_net::wire::{crc32, ImportanceClass, UepHeader, UEP_HEADER_BYTES};
+    let valid = UepHeader {
+        class: ImportanceClass::High,
+        parity: false,
+        abandonable: true,
+        k: 4,
+        r: 2,
+        group: 7,
+        index: 3,
+        deadline_ms: 150,
+    };
+    let bytes = valid.encode();
+    assert_eq!(bytes.len(), UEP_HEADER_BYTES);
+    assert_eq!(UepHeader::decode(&bytes).expect("own encoding decodes"), valid);
+
+    // Re-checksum a forged body so only the semantic checks stand
+    // between the forgery and acceptance. Byte layout: magic(4)
+    // class(1) flags(1) k(1) r(1) group(4) index(1) deadline(2) crc(4).
+    let forge = |patch: &dyn Fn(&mut Vec<u8>)| {
+        let mut b = valid.encode();
+        patch(&mut b);
+        let crc = crc32(&b[4..UEP_HEADER_BYTES - 4]);
+        b[UEP_HEADER_BYTES - 4..].copy_from_slice(&crc.to_le_bytes());
+        UepHeader::decode(&b)
+    };
+    assert!(forge(&|b| b[4] = 9).is_err(), "unknown class accepted");
+    assert!(forge(&|b| b[5] = 0xFF).is_err(), "unknown flag bits accepted");
+    assert!(forge(&|b| b[6] = 0).is_err(), "k = 0 accepted");
+    assert!(forge(&|b| b[7] = 200).is_err(), "r > k accepted");
+    assert!(forge(&|b| b[12] = 4).is_err(), "data index >= k accepted");
+    assert!(
+        forge(&|b| {
+            b[5] = 0b01; // parity flag
+            b[12] = 2; // index >= r
+        })
+        .is_err(),
+        "parity index >= r accepted"
+    );
+    // Trailing bytes after a fully valid header are rejected too.
+    let mut long = valid.encode();
+    long.push(0);
+    assert!(UepHeader::decode(&long).is_err(), "trailing byte accepted");
 }
 
 holo_prop! {
